@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Ablation A: the vector cache's stride-one fast path.  Sweeps the L2
+ * vector port width and the strided transfer rate for the memory-
+ * intensive matrix kernels (DESIGN.md design-choice study).
+ */
+
+#include "bench_util.hh"
+
+using namespace vmmx;
+using namespace vmmx::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "Ablation: vector-cache port width and strided rate "
+                 "(2-way VMMX128 cycles)\n\n";
+
+    TextTable table({"kernel", "port 8B", "port 16B", "port 32B",
+                     "strided 16B/cyc"});
+    for (const std::string kn :
+         {"motion1", "idct", "ycc", "h2v2", "ltppar"}) {
+        auto trace = kernelTrace(kn, SimdKind::VMMX128);
+        std::vector<std::string> row = {kn};
+        for (u64 port : {8, 16, 32}) {
+            Config cfg;
+            cfg.set("mem.vec.port_bytes", s64(port));
+            auto t = time(trace, SimdKind::VMMX128, 2, cfg);
+            row.push_back(std::to_string(t.result.cycles()));
+        }
+        Config cfg;
+        cfg.set("mem.vec.strided_bytes", s64(16));
+        auto t = time(trace, SimdKind::VMMX128, 2, cfg);
+        row.push_back(std::to_string(t.result.cycles()));
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\nStride-one kernels (ycc, h2v2, idct) scale with the "
+                 "port; the strided\nmotion kernels need the per-element "
+                 "path and benefit from a faster one.\n";
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 4: kernel speed-up of the four SIMD flavours on the 2-way
+ * machine, normalised to 2-way MMX64 (the paper's baseline).
+ */
+
+#include "bench_util.hh"
+
+using namespace vmmx;
+using namespace vmmx::bench;
+
+namespace
+{
+
+// Paper bar values (read off Figure 4) for the shape comparison.
+const std::map<std::string, std::array<double, 3>> paperRef = {
+    // {mmx128, vmmx64, vmmx128}
+    {"idct", {1.47, 2.20, 4.10}},    {"motion1", {1.10, 1.60, 2.29}},
+    {"motion2", {1.10, 1.70, 2.43}}, {"comp", {1.05, 1.20, 1.25}},
+    {"addblock", {1.25, 1.45, 1.50}}, {"rgb", {1.10, 1.50, 1.90}},
+    {"ycc", {1.43, 1.90, 2.71}},     {"h2v2", {1.19, 1.80, 2.20}},
+    {"ltppar", {1.10, 1.50, 1.55}},  {"ltpfilt", {1.15, 1.60, 1.75}},
+};
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "Figure 4: kernel speed-up over the 2-way MMX64 baseline "
+                 "(2-way machines)\n\n";
+
+    TextTable table({"kernel", "mmx64", "mmx128", "vmmx64", "vmmx128",
+                     "paper mmx128", "paper vmmx64", "paper vmmx128"});
+
+    for (const auto &kn : kernelNames()) {
+        std::array<double, 4> cycles{};
+        for (auto kind : allSimdKinds) {
+            auto t = time(kernelTrace(kn, kind), kind, 2);
+            cycles[size_t(kind)] = double(t.result.cycles());
+        }
+        double base = cycles[size_t(SimdKind::MMX64)];
+        auto ref = paperRef.count(kn) ? paperRef.at(kn)
+                                      : std::array<double, 3>{0, 0, 0};
+        table.addRow({kn, TextTable::num(1.0),
+                      TextTable::num(base / cycles[1]),
+                      TextTable::num(base / cycles[2]),
+                      TextTable::num(base / cycles[3]),
+                      ref[0] ? TextTable::num(ref[0]) : "-",
+                      ref[1] ? TextTable::num(ref[1]) : "-",
+                      ref[2] ? TextTable::num(ref[2]) : "-"});
+    }
+    table.print(std::cout);
+    std::cout << "\n(fdct is Table II's extra kernel; Figure 4 omits it)\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 5: full-application speed-up for 2/4/8-way machines, all four
+ * SIMD flavours, normalised to the 2-way MMX64 run of the same app.
+ */
+
+#include <cmath>
+
+#include "bench_util.hh"
+
+using namespace vmmx;
+using namespace vmmx::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "Figure 5: full-application speed-up over the 2-way "
+                 "MMX64 baseline\n\n";
+
+    TraceCache cache;
+    std::array<std::array<double, 4>, 3> geoSum{};
+    const unsigned ways[3] = {2, 4, 8};
+
+    for (const auto &an : appNames()) {
+        TextTable table({"config", "mmx64", "mmx128", "vmmx64",
+                         "vmmx128"});
+        double base = 0;
+        for (unsigned wi = 0; wi < 3; ++wi) {
+            std::vector<std::string> row = {std::to_string(ways[wi]) +
+                                            "-way"};
+            for (auto kind : allSimdKinds) {
+                auto t = time(cache.app(an, kind), kind, ways[wi]);
+                double c = double(t.result.cycles());
+                if (wi == 0 && kind == SimdKind::MMX64)
+                    base = c;
+                double sp = base / c;
+                geoSum[wi][size_t(kind)] += std::log(sp);
+                row.push_back(TextTable::num(sp));
+            }
+            table.addRow(std::move(row));
+        }
+        std::cout << an << ":\n";
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    std::cout << "average (geometric mean over the six applications):\n";
+    TextTable avg({"config", "mmx64", "mmx128", "vmmx64", "vmmx128"});
+    for (unsigned wi = 0; wi < 3; ++wi) {
+        std::vector<std::string> row = {std::to_string(ways[wi]) +
+                                        "-way"};
+        for (auto kind : allSimdKinds)
+            row.push_back(TextTable::num(
+                std::exp(geoSum[wi][size_t(kind)] / 6.0)));
+        avg.addRow(std::move(row));
+    }
+    avg.print(std::cout);
+
+    std::cout << "\nPaper headline checks: mpeg2enc gains the most; a "
+                 "2-way VMMX128 is\ncomparable to an 8-way MMX128 on "
+                 "mpeg2enc; the GSM pair barely moves.\n";
+    return 0;
+}

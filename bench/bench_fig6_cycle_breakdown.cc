@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 6: dynamic cycle distribution of jpegdec -- vector-region vs
+ * scalar cycles, normalised to the 2-way MMX64 total.
+ */
+
+#include "bench_util.hh"
+
+using namespace vmmx;
+using namespace vmmx::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "Figure 6: cycle count distribution, jpegdec "
+                 "(normalised to 2-way mmx64 = 100)\n\n";
+
+    TraceCache cache;
+    double base = 0;
+
+    TextTable table({"config", "scalar", "vector", "total",
+                     "vector %"});
+    for (unsigned way : {2u, 4u, 8u}) {
+        for (auto kind : allSimdKinds) {
+            auto t = time(cache.app("jpegdec", kind), kind, way);
+            double sc = double(t.result.core.scalarCycles);
+            double vc = double(t.result.core.vectorCycles);
+            if (way == 2 && kind == SimdKind::MMX64)
+                base = sc + vc;
+            table.addRow({std::to_string(way) + "-way " + name(kind),
+                          TextTable::num(100.0 * sc / base, 1),
+                          TextTable::num(100.0 * vc / base, 1),
+                          TextTable::num(100.0 * (sc + vc) / base, 1),
+                          TextTable::num(100.0 * vc / (sc + vc), 1)});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper headline checks: VMMX128 removes most of the "
+                 "2-way MMX64 vector-region\ntime; on the 8-way VMMX128 "
+                 "the vector region is a few percent of the total\n"
+                 "(Amdahl: the scalar code now dominates).\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * google-benchmark timing of the simulator itself (instructions
+ * simulated per second across flavours and widths).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+
+using namespace vmmx;
+using namespace vmmx::bench;
+
+namespace
+{
+
+void
+BM_SimulateKernel(benchmark::State &state)
+{
+    setQuiet(true);
+    SimdKind kind = SimdKind(state.range(0));
+    unsigned way = unsigned(state.range(1));
+    auto trace = kernelTrace("idct", kind);
+    auto machine = makeMachine(kind, way);
+
+    u64 insts = 0;
+    for (auto _ : state) {
+        RunResult r = runTrace(machine, trace);
+        benchmark::DoNotOptimize(r.core.cycles);
+        insts += trace.size();
+    }
+    state.counters["insts/s"] = benchmark::Counter(
+        double(insts), benchmark::Counter::kIsRate);
+}
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    setQuiet(true);
+    SimdKind kind = SimdKind(state.range(0));
+    u64 insts = 0;
+    for (auto _ : state) {
+        auto trace = kernelTrace("motion1", kind);
+        benchmark::DoNotOptimize(trace.data());
+        insts += trace.size();
+    }
+    state.counters["insts/s"] = benchmark::Counter(
+        double(insts), benchmark::Counter::kIsRate);
+}
+
+} // namespace
+
+BENCHMARK(BM_SimulateKernel)
+    ->Args({int(SimdKind::MMX64), 2})
+    ->Args({int(SimdKind::MMX128), 4})
+    ->Args({int(SimdKind::VMMX64), 4})
+    ->Args({int(SimdKind::VMMX128), 8});
+
+BENCHMARK(BM_TraceGeneration)
+    ->Arg(int(SimdKind::MMX64))
+    ->Arg(int(SimdKind::VMMX128));
+
+BENCHMARK_MAIN();

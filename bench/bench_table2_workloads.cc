@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table II: the benchmark set, augmented with measured per-flavour
+ * trace characteristics (dynamic instructions and vector share).
+ */
+
+#include "bench_util.hh"
+
+using namespace vmmx;
+using namespace vmmx::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "Table II: benchmark set description (measured)\n\n";
+
+    TextTable table({"kernel", "description", "data size", "insts mmx64",
+                     "insts vmmx128", "vec% mmx64", "vec% vmmx128"});
+
+    for (const auto &kn : kernelNames()) {
+        auto k = makeKernel(kn);
+        std::array<u64, 4> total{};
+        std::array<u64, 4> vec{};
+        for (auto kind : {SimdKind::MMX64, SimdKind::VMMX128}) {
+            auto trace = kernelTrace(kn, kind);
+            for (const auto &inst : trace) {
+                ++total[size_t(kind)];
+                if (inst.isVector())
+                    ++vec[size_t(kind)];
+            }
+        }
+        auto pct = [&](SimdKind kind) {
+            size_t i = size_t(kind);
+            return TextTable::num(100.0 * double(vec[i]) /
+                                  double(total[i]), 1);
+        };
+        table.addRow({kn, k->description(), k->dataSize(),
+                      std::to_string(total[size_t(SimdKind::MMX64)]),
+                      std::to_string(total[size_t(SimdKind::VMMX128)]),
+                      pct(SimdKind::MMX64), pct(SimdKind::VMMX128)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nApplications:\n\n";
+    TextTable apps({"app", "description", "insts mmx64", "insts vmmx128"});
+    for (const auto &an : appNames()) {
+        auto a = makeApp(an);
+        u64 m64 = appTrace(an, SimdKind::MMX64).size();
+        u64 v128 = appTrace(an, SimdKind::VMMX128).size();
+        apps.addRow({an, a->description(), std::to_string(m64),
+                     std::to_string(v128)});
+    }
+    apps.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure reproduction binaries: build a
+ * kernel or app trace for a flavour and time it on a Table III/IV
+ * machine.
+ */
+
+#ifndef VMMX_BENCH_BENCH_UTIL_HH
+#define VMMX_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <map>
+
+#include "apps/app.hh"
+#include "common/table.hh"
+#include "harness/runner.hh"
+#include "kernels/kernel.hh"
+
+namespace vmmx::bench
+{
+
+struct TimedRun
+{
+    RunResult result;
+    u64 traceLength = 0;
+    std::array<u64, numInstClasses> instByClass{};
+};
+
+inline std::vector<InstRecord>
+kernelTrace(const std::string &kernel, SimdKind kind)
+{
+    auto k = makeKernel(kernel);
+    MemImage mem(16u << 20);
+    Rng rng(0xbeef);
+    k->prepare(mem, rng);
+    Program p(mem, kind);
+    k->emit(p);
+    return p.takeTrace();
+}
+
+inline std::vector<InstRecord>
+appTrace(const std::string &app, SimdKind kind)
+{
+    auto a = makeApp(app);
+    MemImage mem(32u << 20);
+    Rng rng(0xbeef);
+    a->prepare(mem, rng);
+    Program p(mem, kind);
+    a->emit(p);
+    return p.takeTrace();
+}
+
+inline TimedRun
+time(const std::vector<InstRecord> &trace, SimdKind kind, unsigned way,
+     const Config &overrides = {})
+{
+    TimedRun t;
+    t.traceLength = trace.size();
+    auto machine = makeMachine(kind, way, overrides);
+    t.result = runTrace(machine, trace);
+    t.instByClass = t.result.core.instByClass;
+    return t;
+}
+
+/** Cache of traces keyed by (name, kind) for multi-way sweeps. */
+class TraceCache
+{
+  public:
+    const std::vector<InstRecord> &
+    kernel(const std::string &name, SimdKind kind)
+    {
+        auto key = name + "/" + vmmx::name(kind);
+        auto it = cache_.find(key);
+        if (it == cache_.end())
+            it = cache_.emplace(key, kernelTrace(name, kind)).first;
+        return it->second;
+    }
+
+    const std::vector<InstRecord> &
+    app(const std::string &name, SimdKind kind)
+    {
+        auto key = "app:" + name + "/" + vmmx::name(kind);
+        auto it = cache_.find(key);
+        if (it == cache_.end())
+            it = cache_.emplace(key, appTrace(name, kind)).first;
+        return it->second;
+    }
+
+  private:
+    std::map<std::string, std::vector<InstRecord>> cache_;
+};
+
+} // namespace vmmx::bench
+
+#endif // VMMX_BENCH_BENCH_UTIL_HH

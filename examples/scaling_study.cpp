@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Scaling study over a complete application: how far does widening the
+ * superscalar core take each SIMD flavour on mpeg2enc?  Reproduces the
+ * paper's headline observation that a narrow matrix machine competes
+ * with a much wider 1-D machine.
+ */
+
+#include <iostream>
+
+#include "apps/app.hh"
+#include "common/table.hh"
+#include "harness/runner.hh"
+
+using namespace vmmx;
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "mpeg2enc cycles by flavour and machine width\n\n";
+
+    TextTable table({"flavour", "insts", "2-way", "4-way", "8-way",
+                     "8-way IPC"});
+    double base = 0;
+    for (auto kind : allSimdKinds) {
+        auto app = makeApp("mpeg2enc");
+        MemImage mem(32u << 20);
+        Rng rng(5);
+        app->prepare(mem, rng);
+        Program p(mem, kind);
+        app->emit(p);
+        auto trace = p.takeTrace();
+
+        std::vector<std::string> row = {name(kind),
+                                        std::to_string(trace.size())};
+        double ipc8 = 0;
+        Cycle c2 = 0;
+        for (unsigned way : {2u, 4u, 8u}) {
+            auto r = runTrace(makeMachine(kind, way), trace);
+            row.push_back(std::to_string(r.cycles()));
+            if (way == 2)
+                c2 = r.cycles();
+            if (way == 8)
+                ipc8 = r.core.ipc();
+        }
+        if (kind == SimdKind::MMX64)
+            base = double(c2);
+        row.push_back(TextTable::num(ipc8));
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\n(speed-ups vs the 2-way mmx64 baseline of "
+              << u64(base) << " cycles; see bench_fig5 for all apps)\n";
+    return 0;
+}

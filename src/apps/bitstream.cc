@@ -1,0 +1,95 @@
+#include "apps/bitstream.hh"
+
+namespace vmmx
+{
+
+DslBitWriter::DslBitWriter(Program &p, Addr buf)
+    : p_(p), base_(buf), ptr_(p.sreg()), acc_(p.sreg()), bits_(p.sreg()),
+      t_(p.sreg())
+{
+    p_.li(ptr_, buf);
+    p_.li(acc_, 0);
+    p_.li(bits_, 0);
+}
+
+void
+DslBitWriter::drain()
+{
+    // while (bits >= 8) store the top byte.
+    while (true) {
+        bool more = p_.brGeI(bits_, 8);
+        if (!more)
+            break;
+        p_.addi(bits_, bits_, -8);
+        p_.srl(t_, acc_, bits_);
+        p_.andi(t_, t_, 0xff);
+        p_.store(t_, ptr_, 0, 1);
+        p_.addi(ptr_, ptr_, 1);
+    }
+}
+
+void
+DslBitWriter::put(SReg val, unsigned n)
+{
+    vmmx_assert(n >= 1 && n <= 32, "bit count");
+    p_.slli(acc_, acc_, n);
+    p_.andi(t_, val, (u64(1) << n) - 1);
+    p_.or_(acc_, acc_, t_);
+    p_.addi(bits_, bits_, s64(n));
+    drain();
+}
+
+void
+DslBitWriter::putImm(u64 val, unsigned n)
+{
+    p_.li(t_, val & ((u64(1) << n) - 1));
+    p_.slli(acc_, acc_, n);
+    p_.or_(acc_, acc_, t_);
+    p_.addi(bits_, bits_, s64(n));
+    drain();
+}
+
+void
+DslBitWriter::flush()
+{
+    u64 rem = p_.val(bits_) % 8;
+    if (rem != 0)
+        putImm(0, unsigned(8 - rem));
+    drain();
+}
+
+u64
+DslBitWriter::bytesWritten() const
+{
+    return p_.val(ptr_) - base_;
+}
+
+DslBitReader::DslBitReader(Program &p, Addr buf)
+    : p_(p), ptr_(p.sreg()), acc_(p.sreg()), bits_(p.sreg()), t_(p.sreg())
+{
+    p_.li(ptr_, buf);
+    p_.li(acc_, 0);
+    p_.li(bits_, 0);
+}
+
+u64
+DslBitReader::get(SReg dst, unsigned n)
+{
+    vmmx_assert(n >= 1 && n <= 32, "bit count");
+    while (true) {
+        bool need = p_.brLtI(bits_, s64(n));
+        if (!need)
+            break;
+        p_.load(t_, ptr_, 0, 1);
+        p_.addi(ptr_, ptr_, 1);
+        p_.slli(acc_, acc_, 8);
+        p_.or_(acc_, acc_, t_);
+        p_.addi(bits_, bits_, 8);
+    }
+    p_.addi(bits_, bits_, -s64(n));
+    p_.srl(dst, acc_, bits_);
+    p_.andi(dst, dst, (u64(1) << n) - 1);
+    return p_.val(dst);
+}
+
+} // namespace vmmx

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Bit-level I/O emitted through the trace DSL.  The entropy-coding
+ * phases of the mini codecs are pure scalar code -- exactly the part of
+ * the applications that SIMD extensions cannot touch.
+ */
+
+#ifndef VMMX_APPS_BITSTREAM_HH
+#define VMMX_APPS_BITSTREAM_HH
+
+#include "trace/program.hh"
+
+namespace vmmx
+{
+
+class DslBitWriter
+{
+  public:
+    /** @param buf byte buffer base address (caller-allocated). */
+    DslBitWriter(Program &p, Addr buf);
+
+    /** Append the low @p n bits of @p val (n <= 32). */
+    void put(SReg val, unsigned n);
+
+    /** Append an immediate value. */
+    void putImm(u64 val, unsigned n);
+
+    /** Pad to a byte boundary and write out pending bits. */
+    void flush();
+
+    /** Bytes written so far (trace-time shadow value). */
+    u64 bytesWritten() const;
+
+  private:
+    void drain();
+
+    Program &p_;
+    Addr base_;
+    SReg ptr_;
+    SReg acc_;
+    SReg bits_;
+    SReg t_;
+};
+
+class DslBitReader
+{
+  public:
+    DslBitReader(Program &p, Addr buf);
+
+    /** Read @p n bits into @p dst (n <= 32); @return shadow value. */
+    u64 get(SReg dst, unsigned n);
+
+  private:
+    Program &p_;
+    SReg ptr_;
+    SReg acc_;
+    SReg bits_;
+    SReg t_;
+};
+
+} // namespace vmmx
+
+#endif // VMMX_APPS_BITSTREAM_HH

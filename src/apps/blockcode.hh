@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Shared scalar block-coding phases for the mini image/video codecs:
+ * block extraction, flat quantisation, zig-zag run-length bit coding,
+ * parsing, and clamped deposit back into u8 planes.  All of this is the
+ * scalar "protocol overhead" that SIMD cannot accelerate.
+ */
+
+#ifndef VMMX_APPS_BLOCKCODE_HH
+#define VMMX_APPS_BLOCKCODE_HH
+
+#include "apps/bitstream.hh"
+#include "trace/program.hh"
+
+namespace vmmx::blockcode
+{
+
+inline const u8 zigzag[64] = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+};
+
+constexpr unsigned kQShift = 4; // flat quantiser step 16
+
+/** Extract an 8x8 u8 block, level-shift by -128, store s16 rows. */
+inline void
+extractBlock(Program &p, Addr plane, unsigned pitch, unsigned bx,
+             unsigned by, Addr blockAddr)
+{
+    auto f = p.mark();
+    SReg src = p.sreg();
+    SReg dst = p.sreg();
+    SReg v = p.sreg();
+    SReg t = p.sreg();
+    p.li(src, plane + by * 8 * pitch + bx * 8);
+    p.li(dst, blockAddr);
+    p.forLoop(8, [&](SReg) {
+        p.forLoop(8, [&](SReg c) {
+            p.add(t, src, c);
+            p.load(v, t, 0, 1);
+            p.addi(v, v, -128);
+            p.slli(t, c, 1);
+            p.add(t, t, dst);
+            p.store(v, t, 0, 2);
+        });
+        p.addi(src, src, pitch);
+        p.addi(dst, dst, 16);
+    });
+    p.release(f);
+}
+
+/** Quantise + zig-zag + run-length code one transformed block. */
+inline void
+codeBlock(Program &p, DslBitWriter &bw, Addr blockAddr)
+{
+    auto f = p.mark();
+    SReg base = p.sreg();
+    SReg v = p.sreg();
+    p.li(base, blockAddr);
+
+    p.load(v, base, 2 * zigzag[0], 2, true);
+    p.addi(v, v, 8);
+    p.srai(v, v, kQShift);
+    p.addi(v, v, 2048);
+    bw.put(v, 12);
+
+    unsigned run = 0;
+    for (unsigned k = 1; k < 64; ++k) {
+        p.load(v, base, 2 * zigzag[k], 2, true);
+        p.addi(v, v, 8);
+        p.srai(v, v, kQShift);
+        if (p.brEqI(v, 0)) {
+            ++run;
+            continue;
+        }
+        bw.putImm(run, 6);
+        p.addi(v, v, 512);
+        bw.put(v, 10);
+        run = 0;
+    }
+    bw.putImm(63, 6); // end of block
+    p.release(f);
+}
+
+/** Quantise + dequantise in place (encoder-side reconstruction). */
+inline void
+qdqBlock(Program &p, Addr blockAddr)
+{
+    auto f = p.mark();
+    SReg base = p.sreg();
+    SReg v = p.sreg();
+    SReg t = p.sreg();
+    p.li(base, blockAddr);
+    p.forLoop(64, [&](SReg k) {
+        p.slli(t, k, 1);
+        p.add(t, t, base);
+        p.load(v, t, 0, 2, true);
+        p.addi(v, v, 8);
+        p.srai(v, v, kQShift);
+        p.slli(v, v, kQShift);
+        p.store(v, t, 0, 2);
+    });
+    p.release(f);
+}
+
+/** Parse one block into dequantised coefficients. */
+inline void
+parseBlock(Program &p, DslBitReader &br, Addr blockAddr)
+{
+    auto f = p.mark();
+    SReg base = p.sreg();
+    SReg v = p.sreg();
+    SReg zero = p.sreg();
+    p.li(base, blockAddr);
+    p.li(zero, 0);
+    for (unsigned i = 0; i < 16; ++i)
+        p.store(zero, base, s64(8 * i), 8);
+
+    br.get(v, 12);
+    p.addi(v, v, -2048);
+    p.slli(v, v, kQShift);
+    p.store(v, base, 2 * zigzag[0], 2);
+
+    unsigned k = 1;
+    while (true) {
+        u64 run = br.get(v, 6);
+        if (p.brEqI(v, 63))
+            break;
+        k += unsigned(run);
+        vmmx_assert(k < 64, "corrupt mini-codec stream");
+        br.get(v, 10);
+        p.addi(v, v, -512);
+        p.slli(v, v, kQShift);
+        p.store(v, base, 2 * zigzag[k], 2);
+        ++k;
+    }
+    p.release(f);
+}
+
+/** Deposit a spatial block (+bias, clamp to u8) into a plane. */
+inline void
+depositBlock(Program &p, Addr blockAddr, Addr plane, unsigned pitch,
+             unsigned bx, unsigned by, int bias = 128)
+{
+    auto f = p.mark();
+    SReg src = p.sreg();
+    SReg dst = p.sreg();
+    SReg v = p.sreg();
+    SReg t = p.sreg();
+    SReg zero = p.sreg();
+    SReg c255 = p.sreg();
+    p.li(src, blockAddr);
+    p.li(dst, plane + by * 8 * pitch + bx * 8);
+    p.li(zero, 0);
+    p.li(c255, 255);
+    p.forLoop(8, [&](SReg) {
+        p.forLoop(8, [&](SReg c) {
+            p.slli(t, c, 1);
+            p.add(t, t, src);
+            p.load(v, t, 0, 2, true);
+            p.addi(v, v, bias);
+            if (p.brLt(v, zero))
+                p.mov(v, zero);
+            if (p.brLt(c255, v))
+                p.mov(v, c255);
+            p.add(t, dst, c);
+            p.store(v, t, 0, 1);
+        });
+        p.addi(src, src, 16);
+        p.addi(dst, dst, pitch);
+    });
+    p.release(f);
+}
+
+} // namespace vmmx::blockcode
+
+#endif // VMMX_APPS_BLOCKCODE_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Small typed key/value configuration store.
+ *
+ * Machine and memory models are parameterised through Config so that tests
+ * and benches can tweak individual knobs without new struct plumbing.
+ * Values are stored as strings and converted on access; a missing key with
+ * no default is a fatal user error.
+ */
+
+#ifndef VMMX_COMMON_CONFIG_HH
+#define VMMX_COMMON_CONFIG_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace vmmx
+{
+
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Construct from a list of "key=value" strings. */
+    explicit Config(const std::vector<std::string> &assignments);
+
+    /** Set (or overwrite) a key. */
+    void set(const std::string &key, const std::string &value);
+    void set(const std::string &key, s64 value);
+    void set(const std::string &key, double value);
+    void set(const std::string &key, bool value);
+
+    bool has(const std::string &key) const;
+
+    /** Typed getters; the no-default overloads are fatal on missing keys. */
+    std::string getString(const std::string &key) const;
+    std::string getString(const std::string &key,
+                          const std::string &dflt) const;
+    s64 getInt(const std::string &key) const;
+    s64 getInt(const std::string &key, s64 dflt) const;
+    u64 getUint(const std::string &key) const;
+    u64 getUint(const std::string &key, u64 dflt) const;
+    double getDouble(const std::string &key) const;
+    double getDouble(const std::string &key, double dflt) const;
+    bool getBool(const std::string &key) const;
+    bool getBool(const std::string &key, bool dflt) const;
+
+    /** Merge another config on top of this one (other wins). */
+    void merge(const Config &other);
+
+    /** All keys in sorted order (for dumping). */
+    std::vector<std::string> keys() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace vmmx
+
+#endif // VMMX_COMMON_CONFIG_HH

@@ -1,0 +1,48 @@
+#include "common/memimage.hh"
+
+#include <algorithm>
+
+namespace vmmx
+{
+
+MemImage::MemImage(size_t size)
+    : data_(size, 0),
+      brk_(64) // keep address 0 unmapped-ish: allocations never return 0
+{
+}
+
+Addr
+MemImage::alloc(size_t bytes, size_t align)
+{
+    vmmx_assert(align != 0 && (align & (align - 1)) == 0,
+                "alignment must be a power of two");
+    Addr base = (brk_ + align - 1) & ~(Addr(align) - 1);
+    if (base + bytes > data_.size())
+        fatal("memory arena exhausted: need %zu bytes at 0x%llx (arena %zu)",
+              bytes, (unsigned long long)base, data_.size());
+    brk_ = base + bytes;
+    return base;
+}
+
+void
+MemImage::clear()
+{
+    std::fill(data_.begin(), data_.end(), 0);
+    brk_ = 64;
+}
+
+void
+MemImage::copyIn(Addr a, const void *src, size_t n)
+{
+    check(a, n);
+    std::memcpy(&data_[a], src, n);
+}
+
+void
+MemImage::copyOut(void *dst, Addr a, size_t n) const
+{
+    check(a, n);
+    std::memcpy(dst, &data_[a], n);
+}
+
+} // namespace vmmx

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Flat byte-addressable memory arena shared by the functional emulation
+ * (trace DSL) and golden reference implementations.
+ *
+ * Addresses are allocated bump-pointer style; there is no protection or
+ * paging — workloads are cooperative.  Accessors are little-endian and
+ * bounds-checked (a wild access is a simulator bug, hence panic).
+ */
+
+#ifndef VMMX_COMMON_MEMIMAGE_HH
+#define VMMX_COMMON_MEMIMAGE_HH
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace vmmx
+{
+
+class MemImage
+{
+  public:
+    /** @param size arena size in bytes. */
+    explicit MemImage(size_t size = 16u << 20);
+
+    /** Allocate @p bytes aligned to @p align; returns base address. */
+    Addr alloc(size_t bytes, size_t align = 16);
+
+    /** Reset the allocator and zero the arena. */
+    void clear();
+
+    size_t size() const { return data_.size(); }
+    Addr brk() const { return brk_; }
+
+    u8 read8(Addr a) const { check(a, 1); return data_[a]; }
+    u16 read16(Addr a) const { return readT<u16>(a); }
+    u32 read32(Addr a) const { return readT<u32>(a); }
+    u64 read64(Addr a) const { return readT<u64>(a); }
+
+    void write8(Addr a, u8 v) { check(a, 1); data_[a] = v; }
+    void write16(Addr a, u16 v) { writeT(a, v); }
+    void write32(Addr a, u32 v) { writeT(a, v); }
+    void write64(Addr a, u64 v) { writeT(a, v); }
+
+    /** Bulk copy helpers for test/bench setup. */
+    void copyIn(Addr a, const void *src, size_t n);
+    void copyOut(void *dst, Addr a, size_t n) const;
+
+    /** Direct pointer for golden references; valid until clear(). */
+    u8 *raw(Addr a, size_t n) { check(a, n); return &data_[a]; }
+    const u8 *raw(Addr a, size_t n) const { check(a, n); return &data_[a]; }
+
+  private:
+    void
+    check(Addr a, size_t n) const
+    {
+        if (a + n > data_.size() || a + n < a)
+            panic("memory access [0x%llx, +%zu) out of arena of %zu bytes",
+                  (unsigned long long)a, n, data_.size());
+    }
+
+    template <typename T>
+    T
+    readT(Addr a) const
+    {
+        check(a, sizeof(T));
+        T v;
+        std::memcpy(&v, &data_[a], sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    writeT(Addr a, T v)
+    {
+        check(a, sizeof(T));
+        std::memcpy(&data_[a], &v, sizeof(T));
+    }
+
+    std::vector<u8> data_;
+    Addr brk_;
+};
+
+} // namespace vmmx
+
+#endif // VMMX_COMMON_MEMIMAGE_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic xorshift64* RNG.  All workload generators use this so the
+ * whole experiment pipeline is reproducible bit-for-bit across runs.
+ */
+
+#ifndef VMMX_COMMON_RNG_HH
+#define VMMX_COMMON_RNG_HH
+
+#include "common/types.hh"
+
+namespace vmmx
+{
+
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) : state_(seed ? seed : 1)
+    {}
+
+    u64
+    next()
+    {
+        u64 x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform in [0, bound). bound must be nonzero. */
+    u64 below(u64 bound) { return next() % bound; }
+
+    /** Uniform in [lo, hi] inclusive. */
+    s64
+    range(s64 lo, s64 hi)
+    {
+        return lo + s64(below(u64(hi - lo + 1)));
+    }
+
+    u8 byte() { return u8(next() >> 56); }
+
+  private:
+    u64 state_;
+};
+
+} // namespace vmmx
+
+#endif // VMMX_COMMON_RNG_HH

@@ -1,0 +1,98 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace vmmx
+{
+
+Counter::Counter(StatGroup *parent, const std::string &name,
+                 const std::string &desc)
+    : name_(name), desc_(desc)
+{
+    if (parent)
+        parent->addCounter(this);
+}
+
+Histogram::Histogram(StatGroup *parent, const std::string &name,
+                     const std::string &desc, u64 min, u64 max,
+                     size_t buckets)
+    : name_(name), desc_(desc), min_(min), max_(max),
+      buckets_(buckets, 0)
+{
+    if (max <= min)
+        fatal("histogram '%s': max (%llu) must exceed min (%llu)",
+              name.c_str(), (unsigned long long)max,
+              (unsigned long long)min);
+    if (buckets == 0)
+        fatal("histogram '%s': needs at least one bucket", name.c_str());
+    if (parent)
+        parent->addHistogram(this);
+}
+
+void
+Histogram::sample(u64 v, u64 count)
+{
+    samples_ += count;
+    sum_ += v * count;
+    minSample_ = std::min(minSample_, v);
+    maxSample_ = std::max(maxSample_, v);
+    if (v < min_) {
+        underflow_ += count;
+    } else if (v >= max_) {
+        overflow_ += count;
+    } else {
+        size_t idx = size_t((v - min_) * buckets_.size() / (max_ - min_));
+        buckets_[idx] += count;
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = samples_ = sum_ = 0;
+    minSample_ = ~u64(0);
+    maxSample_ = 0;
+}
+
+Formula::Formula(StatGroup *parent, const std::string &name,
+                 const std::string &desc, std::function<double()> fn)
+    : name_(name), desc_(desc), fn_(std::move(fn))
+{
+    if (parent)
+        parent->addFormula(this);
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const Counter *c : counters_) {
+        os << name_ << '.' << c->name() << ' ' << c->value()
+           << "  # " << c->desc() << '\n';
+    }
+    for (const Histogram *h : histograms_) {
+        os << name_ << '.' << h->name() << ".samples " << h->samples()
+           << "  # " << h->desc() << '\n';
+        os << name_ << '.' << h->name() << ".mean "
+           << std::fixed << std::setprecision(3) << h->mean() << '\n';
+    }
+    for (const Formula *f : formulas_) {
+        os << name_ << '.' << f->name() << ' '
+           << std::fixed << std::setprecision(4) << f->value()
+           << "  # " << f->desc() << '\n';
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Counter *c : counters_)
+        c->reset();
+    for (Histogram *h : histograms_)
+        h->reset();
+}
+
+} // namespace vmmx

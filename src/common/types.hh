@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fundamental scalar types used across the simulator.
+ */
+
+#ifndef VMMX_COMMON_TYPES_HH
+#define VMMX_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace vmmx
+{
+
+/** Simulated byte address. */
+using Addr = std::uint64_t;
+
+/** Simulation time in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Dynamic instruction sequence number (commit order). */
+using SeqNum = std::uint64_t;
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using s8 = std::int8_t;
+using s16 = std::int16_t;
+using s32 = std::int32_t;
+using s64 = std::int64_t;
+
+} // namespace vmmx
+
+#endif // VMMX_COMMON_TYPES_HH

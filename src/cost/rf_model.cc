@@ -1,0 +1,79 @@
+#include "cost/rf_model.hh"
+
+#include "common/logging.hh"
+
+namespace vmmx
+{
+
+u64
+RfDesign::storageBits() const
+{
+    return u64(physRegs) * rows * rowBits;
+}
+
+double
+RfDesign::storageKB() const
+{
+    return double(storageBits()) / 8.0 / 1000.0;
+}
+
+double
+RfDesign::areaUnits() const
+{
+    double ports = double(readPortsPerBank + writePortsPerBank);
+    // Bits are spread evenly over the banks; per-cell area grows with
+    // (wordlines x bitlines) ~ ports^2.
+    return double(storageBits()) * ports * ports;
+}
+
+RfDesign
+RfDesign::forMachine(SimdKind kind, unsigned way)
+{
+    if (way != 2 && way != 4 && way != 8)
+        fatal("unsupported width %u for RF model", way);
+    unsigned idx = way == 2 ? 0 : way == 4 ? 1 : 2;
+
+    static const unsigned mmxPhys[3] = {40, 64, 96};
+    static const unsigned vmmxPhys[3] = {20, 36, 64};
+    static const unsigned memPorts[3] = {1, 2, 4};
+    static const unsigned vmmxBanksPerLane[3] = {1, 2, 4};
+
+    const SimdGeometry &g = geometry(kind);
+
+    RfDesign d;
+    d.kind = kind;
+    d.way = way;
+    d.rowBits = g.rowBits;
+    d.rows = g.maxVl;
+
+    if (g.matrix) {
+        d.physRegs = vmmxPhys[idx];
+        d.lanes = 4;
+        d.banksPerLane = vmmxBanksPerLane[idx];
+        // Each bank feeds one functional unit per cycle (2 operand reads
+        // + 1 result write), one memory stream read and one memory/
+        // reduction write: the banked organisation keeps this constant
+        // as the machine scales.
+        d.readPortsPerBank = 4;
+        d.writePortsPerBank = 2;
+    } else {
+        d.physRegs = mmxPhys[idx];
+        d.lanes = 1;
+        d.banksPerLane = 1;
+        // Centralized file: every SIMD FU needs 2 reads + 1 write, plus
+        // the memory ports.
+        d.readPortsPerBank = 2 * way + memPorts[idx];
+        d.writePortsPerBank = way + memPorts[idx];
+    }
+    return d;
+}
+
+double
+normalizedArea(const RfDesign &d)
+{
+    static const double base =
+        RfDesign::forMachine(SimdKind::MMX64, 4).areaUnits();
+    return d.areaUnits() / base;
+}
+
+} // namespace vmmx

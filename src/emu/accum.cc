@@ -1,0 +1,58 @@
+#include "emu/accum.hh"
+
+#include "common/saturate.hh"
+
+namespace vmmx::emu
+{
+
+void
+accSad(Accum &acc, const VWord &a, const VWord &b, unsigned bytes)
+{
+    unsigned lanes = accLanes(bytes);
+    for (unsigned j = 0; j < lanes; ++j) {
+        acc.lane[j] += absDiffU8(a.byte(2 * j), b.byte(2 * j)) +
+                       absDiffU8(a.byte(2 * j + 1), b.byte(2 * j + 1));
+    }
+}
+
+void
+accMac(Accum &acc, const VWord &a, const VWord &b, unsigned bytes)
+{
+    unsigned lanes = accLanes(bytes);
+    for (unsigned j = 0; j < lanes; ++j)
+        acc.lane[j] += s64(a.sword(j)) * b.sword(j);
+}
+
+void
+accAdd(Accum &acc, const VWord &a, unsigned bytes)
+{
+    unsigned lanes = accLanes(bytes);
+    for (unsigned j = 0; j < lanes; ++j)
+        acc.lane[j] += a.sword(j);
+}
+
+s64
+accSum(const Accum &acc, unsigned bytes)
+{
+    s64 sum = 0;
+    unsigned lanes = accLanes(bytes);
+    for (unsigned j = 0; j < lanes; ++j)
+        sum += acc.lane[j];
+    return sum;
+}
+
+VWord
+accPack(const Accum &acc, unsigned bytes, unsigned shift)
+{
+    VWord out;
+    unsigned lanes = accLanes(bytes);
+    for (unsigned j = 0; j < lanes; ++j) {
+        s64 v = acc.lane[j];
+        if (shift > 0)
+            v = asr64(v + (s64(1) << (shift - 1)), shift);
+        out.setWord(j, u16(clampTo<s16>(v)));
+    }
+    return out;
+}
+
+} // namespace vmmx::emu

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * MOM packed accumulators.
+ *
+ * A packed accumulator holds one wide (64-bit) lane per 16-bit element
+ * column of a register row: 4 lanes for 64-bit rows, 8 for 128-bit rows.
+ * Accumulating ops (SAD, multiply-accumulate, add) run once per matrix row
+ * and never overflow for realistic media workloads; a final VACCSUM
+ * reduces the lanes to a scalar, and VACCPACK saturates the lanes back
+ * into a packed row (used by the DCT kernels).
+ *
+ * This is the reduction mechanism from Corbal et al., "On the Efficiency
+ * of Reductions in micro-SIMD media extensions" (PACT'01), which the paper
+ * relies on for the motion-estimation and IDCT examples.
+ */
+
+#ifndef VMMX_EMU_ACCUM_HH
+#define VMMX_EMU_ACCUM_HH
+
+#include <array>
+
+#include "emu/vword.hh"
+#include "isa/opcode.hh"
+
+namespace vmmx::emu
+{
+
+struct Accum
+{
+    std::array<s64, 8> lane{};
+
+    void clear() { lane.fill(0); }
+    bool operator==(const Accum &o) const = default;
+};
+
+/** Lanes active for a row of @p bytes (4 for 8B rows, 8 for 16B rows). */
+inline unsigned
+accLanes(unsigned bytes)
+{
+    return bytes / 2;
+}
+
+/** acc.lane[i] += |a.byte pairs| SAD, one lane per 16-bit column pair.
+ *  Each lane accumulates the absolute differences of its two byte
+ *  columns, keeping lanes independent (vectorisable per element). */
+void accSad(Accum &acc, const VWord &a, const VWord &b, unsigned bytes);
+
+/** pmaddwd-style: lane[j] += a16[j]*b16[j] for each 16-bit column. */
+void accMac(Accum &acc, const VWord &a, const VWord &b, unsigned bytes);
+
+/** lane[j] += sign-extended element j of a (W16 columns). */
+void accAdd(Accum &acc, const VWord &a, unsigned bytes);
+
+/** Reduce all active lanes to one scalar. */
+s64 accSum(const Accum &acc, unsigned bytes);
+
+/**
+ * Round-to-nearest shift each lane right by @p shift and saturate to
+ * signed 16-bit, producing one packed row.
+ */
+VWord accPack(const Accum &acc, unsigned bytes, unsigned shift);
+
+} // namespace vmmx::emu
+
+#endif // VMMX_EMU_ACCUM_HH

@@ -1,0 +1,321 @@
+#include "emu/packed.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/saturate.hh"
+
+namespace vmmx::emu
+{
+
+namespace
+{
+
+/** Number of elements of width @p ew in the low @p bytes. */
+unsigned
+elems(ElemWidth ew, unsigned bytes)
+{
+    vmmx_assert(bytes == 8 || bytes == 16, "row must be 8 or 16 bytes");
+    return bytes / elemBytes(ew);
+}
+
+s64
+getElem(const VWord &w, ElemWidth ew, unsigned i, bool isSigned)
+{
+    switch (ew) {
+      case ElemWidth::B8:
+        return isSigned ? s64(s8(w.byte(i))) : s64(w.byte(i));
+      case ElemWidth::W16:
+        return isSigned ? s64(w.sword(i)) : s64(w.word(i));
+      case ElemWidth::D32:
+        return isSigned ? s64(w.sdword(i)) : s64(w.dword(i));
+      case ElemWidth::Q64:
+        return s64(w.qword(i));
+    }
+    panic("bad element width");
+}
+
+void
+setElem(VWord &w, ElemWidth ew, unsigned i, s64 v)
+{
+    switch (ew) {
+      case ElemWidth::B8: w.setByte(i, u8(v)); return;
+      case ElemWidth::W16: w.setWord(i, u16(v)); return;
+      case ElemWidth::D32: w.setDword(i, u32(v)); return;
+      case ElemWidth::Q64: w.setQword(i, u64(v)); return;
+    }
+    panic("bad element width");
+}
+
+s64
+saturate(s64 v, ElemWidth ew, bool isSigned)
+{
+    switch (ew) {
+      case ElemWidth::B8:
+        return isSigned ? clampTo<s8>(v) : s64(u8(std::clamp<s64>(v, 0, 255)));
+      case ElemWidth::W16:
+        return isSigned ? clampTo<s16>(v)
+                        : s64(u16(std::clamp<s64>(v, 0, 65535)));
+      case ElemWidth::D32:
+        return isSigned ? clampTo<s32>(v)
+                        : s64(u32(std::clamp<s64>(v, 0, 0xffffffffll)));
+      case ElemWidth::Q64:
+        return v;
+    }
+    panic("bad element width");
+}
+
+template <typename Fn>
+VWord
+mapElems(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes,
+         bool isSigned, Fn fn)
+{
+    VWord out;
+    unsigned n = elems(ew, bytes);
+    for (unsigned i = 0; i < n; ++i) {
+        s64 x = getElem(a, ew, i, isSigned);
+        s64 y = getElem(b, ew, i, isSigned);
+        setElem(out, ew, i, fn(x, y));
+    }
+    return out;
+}
+
+} // namespace
+
+VWord
+padd(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes)
+{
+    return mapElems(a, b, ew, bytes, false,
+                    [](s64 x, s64 y) { return x + y; });
+}
+
+VWord
+psub(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes)
+{
+    return mapElems(a, b, ew, bytes, false,
+                    [](s64 x, s64 y) { return x - y; });
+}
+
+VWord
+padds(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes,
+      bool isSigned)
+{
+    return mapElems(a, b, ew, bytes, isSigned, [=](s64 x, s64 y) {
+        return saturate(x + y, ew, isSigned);
+    });
+}
+
+VWord
+psubs(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes,
+      bool isSigned)
+{
+    return mapElems(a, b, ew, bytes, isSigned, [=](s64 x, s64 y) {
+        return saturate(x - y, ew, isSigned);
+    });
+}
+
+VWord
+pmull(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes)
+{
+    return mapElems(a, b, ew, bytes, true,
+                    [](s64 x, s64 y) { return x * y; });
+}
+
+VWord
+pmulh(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes)
+{
+    unsigned sh = 8 * elemBytes(ew);
+    return mapElems(a, b, ew, bytes, true, [=](s64 x, s64 y) {
+        return asr64(x * y, sh);
+    });
+}
+
+VWord
+pmadd(const VWord &a, const VWord &b, unsigned bytes)
+{
+    VWord out;
+    unsigned pairs = elems(ElemWidth::W16, bytes) / 2;
+    for (unsigned j = 0; j < pairs; ++j) {
+        s64 p = s64(a.sword(2 * j)) * b.sword(2 * j) +
+                s64(a.sword(2 * j + 1)) * b.sword(2 * j + 1);
+        out.setDword(j, u32(s32(p)));
+    }
+    return out;
+}
+
+VWord
+psad(const VWord &a, const VWord &b, unsigned bytes)
+{
+    VWord out;
+    for (unsigned half = 0; half < bytes / 8; ++half) {
+        u32 sum = 0;
+        for (unsigned i = 0; i < 8; ++i) {
+            unsigned idx = half * 8 + i;
+            sum += absDiffU8(a.byte(idx), b.byte(idx));
+        }
+        out.setQword(half, sum);
+    }
+    return out;
+}
+
+VWord
+pavg(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes)
+{
+    return mapElems(a, b, ew, bytes, false,
+                    [](s64 x, s64 y) { return (x + y + 1) >> 1; });
+}
+
+VWord
+pmin(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes,
+     bool isSigned)
+{
+    return mapElems(a, b, ew, bytes, isSigned,
+                    [](s64 x, s64 y) { return std::min(x, y); });
+}
+
+VWord
+pmax(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes,
+     bool isSigned)
+{
+    return mapElems(a, b, ew, bytes, isSigned,
+                    [](s64 x, s64 y) { return std::max(x, y); });
+}
+
+VWord
+pand(const VWord &a, const VWord &b, unsigned bytes)
+{
+    return truncate({a.lo & b.lo, a.hi & b.hi}, bytes);
+}
+
+VWord
+por(const VWord &a, const VWord &b, unsigned bytes)
+{
+    return truncate({a.lo | b.lo, a.hi | b.hi}, bytes);
+}
+
+VWord
+pxor(const VWord &a, const VWord &b, unsigned bytes)
+{
+    return truncate({a.lo ^ b.lo, a.hi ^ b.hi}, bytes);
+}
+
+VWord
+pshift(const VWord &a, ElemWidth ew, unsigned bytes, unsigned amount,
+       ShiftKind kind)
+{
+    VWord out;
+    unsigned n = elems(ew, bytes);
+    unsigned width = 8 * elemBytes(ew);
+    for (unsigned i = 0; i < n; ++i) {
+        if (amount >= width && kind != ShiftKind::Sra) {
+            setElem(out, ew, i, 0);
+            continue;
+        }
+        unsigned sh = std::min(amount, width - 1);
+        s64 x;
+        switch (kind) {
+          case ShiftKind::Sll:
+            x = getElem(a, ew, i, false) << amount;
+            break;
+          case ShiftKind::Srl:
+            x = s64(u64(getElem(a, ew, i, false)) >> amount);
+            break;
+          case ShiftKind::Sra:
+            x = asr64(getElem(a, ew, i, true), sh);
+            break;
+          default:
+            panic("bad shift kind");
+        }
+        setElem(out, ew, i, x);
+    }
+    return out;
+}
+
+namespace
+{
+
+VWord
+packCommon(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes,
+           bool isSigned)
+{
+    vmmx_assert(ew == ElemWidth::W16 || ew == ElemWidth::D32,
+                "pack source width must be W16 or D32");
+    ElemWidth dw = ew == ElemWidth::W16 ? ElemWidth::B8 : ElemWidth::W16;
+    unsigned n = elems(ew, bytes);
+    VWord out;
+    for (unsigned i = 0; i < n; ++i) {
+        setElem(out, dw, i, saturate(getElem(a, ew, i, true), dw, isSigned));
+        setElem(out, dw, n + i,
+                saturate(getElem(b, ew, i, true), dw, isSigned));
+    }
+    return out;
+}
+
+} // namespace
+
+VWord
+packs(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes)
+{
+    return packCommon(a, b, ew, bytes, true);
+}
+
+VWord
+packus(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes)
+{
+    return packCommon(a, b, ew, bytes, false);
+}
+
+VWord
+unpckl(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes)
+{
+    unsigned n = elems(ew, bytes);
+    VWord out;
+    for (unsigned i = 0; i < n / 2; ++i) {
+        setElem(out, ew, 2 * i, getElem(a, ew, i, false));
+        setElem(out, ew, 2 * i + 1, getElem(b, ew, i, false));
+    }
+    return out;
+}
+
+VWord
+unpckh(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes)
+{
+    unsigned n = elems(ew, bytes);
+    VWord out;
+    for (unsigned i = 0; i < n / 2; ++i) {
+        setElem(out, ew, 2 * i, getElem(a, ew, n / 2 + i, false));
+        setElem(out, ew, 2 * i + 1, getElem(b, ew, n / 2 + i, false));
+    }
+    return out;
+}
+
+VWord
+psplat(u64 v, ElemWidth ew, unsigned bytes)
+{
+    VWord out;
+    unsigned n = elems(ew, bytes);
+    for (unsigned i = 0; i < n; ++i)
+        setElem(out, ew, i, s64(v));
+    return out;
+}
+
+s64
+psum(const VWord &a, ElemWidth ew, unsigned bytes, bool isSigned)
+{
+    s64 sum = 0;
+    unsigned n = elems(ew, bytes);
+    for (unsigned i = 0; i < n; ++i)
+        sum += getElem(a, ew, i, isSigned);
+    return sum;
+}
+
+VWord
+truncate(const VWord &a, unsigned bytes)
+{
+    vmmx_assert(bytes == 8 || bytes == 16, "row must be 8 or 16 bytes");
+    if (bytes == 8)
+        return {a.lo, 0};
+    return a;
+}
+
+} // namespace vmmx::emu

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Functional semantics of the packed-SIMD operation repertoire.
+ *
+ * Every function operates on the low @p bytes (8 for the 64-bit flavours,
+ * 16 for the 128-bit ones) of its VWord operands; bytes above @p bytes are
+ * returned as zero.  These routines are the single source of truth for
+ * both the 1-D (MMX-like) and 2-D (MOM) engines: a matrix operation is the
+ * same row operation applied to vl rows.
+ */
+
+#ifndef VMMX_EMU_PACKED_HH
+#define VMMX_EMU_PACKED_HH
+
+#include "emu/vword.hh"
+#include "isa/opcode.hh"
+
+namespace vmmx::emu
+{
+
+/** Shift kinds for pshift(). */
+enum class ShiftKind : u8 { Sll, Srl, Sra };
+
+/** Wrapping element-wise add/sub. */
+VWord padd(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes);
+VWord psub(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes);
+
+/** Saturating element-wise add/sub (signed or unsigned saturation). */
+VWord padds(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes,
+            bool isSigned);
+VWord psubs(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes,
+            bool isSigned);
+
+/** Element-wise multiply keeping the low / high half of the product. */
+VWord pmull(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes);
+VWord pmulh(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes);
+
+/**
+ * pmaddwd: multiply signed 16-bit elements and add adjacent pairs into
+ * signed 32-bit results.  Only valid for ew == W16.
+ */
+VWord pmadd(const VWord &a, const VWord &b, unsigned bytes);
+
+/**
+ * psadbw: sum of absolute differences of unsigned bytes; one 16-bit sum
+ * per 64-bit half, placed in that half's low word.
+ */
+VWord psad(const VWord &a, const VWord &b, unsigned bytes);
+
+/** Per-element sum of squared differences is derived in kernels via
+ *  psub/pmadd; no dedicated opcode (matches MMX practice). */
+
+/** Rounding average of unsigned bytes / words. */
+VWord pavg(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes);
+
+VWord pmin(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes,
+           bool isSigned);
+VWord pmax(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes,
+           bool isSigned);
+
+VWord pand(const VWord &a, const VWord &b, unsigned bytes);
+VWord por(const VWord &a, const VWord &b, unsigned bytes);
+VWord pxor(const VWord &a, const VWord &b, unsigned bytes);
+
+/** Element-wise shift by a scalar amount. */
+VWord pshift(const VWord &a, ElemWidth ew, unsigned bytes, unsigned amount,
+             ShiftKind kind);
+
+/**
+ * Narrowing pack of a (low result half) and b (high result half) with
+ * saturation; W16 -> bytes, D32 -> words.  @p ew is the *source* width.
+ */
+VWord packs(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes);
+VWord packus(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes);
+
+/** Interleave the low (or high) halves of a and b at element width ew. */
+VWord unpckl(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes);
+VWord unpckh(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes);
+
+/** Broadcast the low @p ew bits of @p v into every element. */
+VWord psplat(u64 v, ElemWidth ew, unsigned bytes);
+
+/** Horizontal reduction of all elements (signed for W16/D32, else
+ *  unsigned); used by the Sum() operations in the paper's examples. */
+s64 psum(const VWord &a, ElemWidth ew, unsigned bytes, bool isSigned);
+
+/** Zero every byte at offset >= bytes (canonicalise a narrow word). */
+VWord truncate(const VWord &a, unsigned bytes);
+
+} // namespace vmmx::emu
+
+#endif // VMMX_EMU_PACKED_HH

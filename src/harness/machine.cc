@@ -1,0 +1,35 @@
+#include "harness/machine.hh"
+
+namespace vmmx
+{
+
+std::string
+MachineConfig::label() const
+{
+    return std::to_string(way) + "-way " + name(kind);
+}
+
+MachineConfig
+makeMachine(SimdKind kind, unsigned way, const Config &overrides)
+{
+    MachineConfig m;
+    m.kind = kind;
+    m.way = way;
+    m.core = CoreParams::forConfig(kind, way, overrides);
+    m.mem = MemParams::forWay(way, overrides);
+
+    // Table III: the scalar L1 ports equal the core's Mem FUs (1/2/4 for
+    // MMX, 1/1/2 for VMMX).
+    if (!overrides.has("mem.l1.ports"))
+        m.mem.l1Ports = m.core.memPorts;
+
+    // Table III: VMMX L2 vector port is 1 x 64/128/256-bit.
+    if (isMatrix(kind) && !overrides.has("mem.vec.port_bytes")) {
+        unsigned idx = way == 2 ? 0 : way == 4 ? 1 : 2;
+        static const u32 vecBytes[3] = {8, 16, 32};
+        m.mem.vecPortBytes = vecBytes[idx];
+    }
+    return m;
+}
+
+} // namespace vmmx

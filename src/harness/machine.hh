@@ -1,0 +1,39 @@
+/**
+ * @file
+ * A machine configuration = core (Table III) + memory (Table IV),
+ * consistently wired (the memory system's scalar L1 ports come from the
+ * core's Mem-FU count; the vector port width follows Table III).
+ */
+
+#ifndef VMMX_HARNESS_MACHINE_HH
+#define VMMX_HARNESS_MACHINE_HH
+
+#include <string>
+
+#include "mem/params.hh"
+#include "sim/params.hh"
+
+namespace vmmx
+{
+
+struct MachineConfig
+{
+    SimdKind kind;
+    unsigned way;
+    CoreParams core;
+    MemParams mem;
+
+    /** e.g. "4-way vmmx128". */
+    std::string label() const;
+};
+
+/**
+ * Build the paper's configuration for @p kind at @p way.
+ * @param overrides optional knobs (core.*, mem.*) for ablation studies.
+ */
+MachineConfig makeMachine(SimdKind kind, unsigned way,
+                          const Config &overrides = {});
+
+} // namespace vmmx
+
+#endif // VMMX_HARNESS_MACHINE_HH

@@ -1,0 +1,23 @@
+#include "harness/runner.hh"
+
+namespace vmmx
+{
+
+RunResult
+runTrace(const MachineConfig &machine, const std::vector<InstRecord> &trace)
+{
+    MemorySystem mem(machine.mem);
+    OoOCore core(machine.core, &mem);
+
+    RunResult r;
+    r.core = core.run(trace);
+    r.l1Hits = mem.l1Hits();
+    r.l1Misses = mem.l1Misses();
+    r.l2Hits = mem.l2Hits();
+    r.l2Misses = mem.l2Misses();
+    r.vecAccesses = mem.vecAccesses();
+    r.cohInvalidations = mem.coherenceInvalidations();
+    return r;
+}
+
+} // namespace vmmx

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Experiment runner: replays a trace on a machine configuration and
+ * returns the combined core + memory statistics.
+ */
+
+#ifndef VMMX_HARNESS_RUNNER_HH
+#define VMMX_HARNESS_RUNNER_HH
+
+#include "harness/machine.hh"
+#include "sim/core.hh"
+
+namespace vmmx
+{
+
+struct RunResult
+{
+    RunStats core;
+    u64 l1Hits = 0;
+    u64 l1Misses = 0;
+    u64 l2Hits = 0;
+    u64 l2Misses = 0;
+    u64 vecAccesses = 0;
+    u64 cohInvalidations = 0;
+
+    Cycle cycles() const { return core.cycles; }
+};
+
+/** Run @p trace on @p machine from cold caches. */
+RunResult runTrace(const MachineConfig &machine,
+                   const std::vector<InstRecord> &trace);
+
+} // namespace vmmx
+
+#endif // VMMX_HARNESS_RUNNER_HH

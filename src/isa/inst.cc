@@ -1,0 +1,73 @@
+#include "isa/inst.hh"
+
+#include <cstdio>
+
+namespace vmmx
+{
+
+namespace
+{
+
+const char *
+regClassTag(RegClass c)
+{
+    switch (c) {
+      case RegClass::Int: return "r";
+      case RegClass::Fp: return "f";
+      case RegClass::Simd: return "v";
+      case RegClass::Acc: return "a";
+      case RegClass::None: return "-";
+    }
+    return "?";
+}
+
+std::string
+regStr(const RegId &r)
+{
+    if (!r.valid())
+        return "-";
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%s%u", regClassTag(r.cls), r.idx);
+    return buf;
+}
+
+} // namespace
+
+bool
+InstRecord::isLoad() const
+{
+    return op == Opcode::LOAD || op == Opcode::PLOAD ||
+           op == Opcode::VLOAD || op == Opcode::VLOADP;
+}
+
+bool
+InstRecord::isStore() const
+{
+    return op == Opcode::STORE || op == Opcode::PSTORE ||
+           op == Opcode::VSTORE || op == Opcode::VSTOREP;
+}
+
+std::string
+InstRecord::toString() const
+{
+    char buf[160];
+    if (isMem()) {
+        std::snprintf(buf, sizeof(buf),
+                      "%-8s %s <- [0x%llx row=%u stride=%d vl=%u] %s",
+                      opcodeName(op), regStr(dst).c_str(),
+                      (unsigned long long)addr, rowBytes, stride, vl,
+                      regStr(src0).c_str());
+    } else if (isBranch()) {
+        std::snprintf(buf, sizeof(buf), "%-8s %s,%s %s (site %u)",
+                      opcodeName(op), regStr(src0).c_str(),
+                      regStr(src1).c_str(), taken ? "T" : "N", staticId);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%-8s %s <- %s,%s,%s vl=%u",
+                      opcodeName(op), regStr(dst).c_str(),
+                      regStr(src0).c_str(), regStr(src1).c_str(),
+                      regStr(src2).c_str(), vl);
+    }
+    return buf;
+}
+
+} // namespace vmmx

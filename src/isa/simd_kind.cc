@@ -1,0 +1,48 @@
+#include "isa/simd_kind.hh"
+
+#include "common/logging.hh"
+
+namespace vmmx
+{
+
+namespace
+{
+
+const std::array<SimdGeometry, 4> geometries = {{
+    // rowBits, maxVl, logicalRegs, matrix
+    {64, 1, 32, false},  // MMX64
+    {128, 1, 32, false}, // MMX128
+    {64, 16, 16, true},  // VMMX64
+    {128, 16, 16, true}, // VMMX128
+}};
+
+const std::array<std::string, 4> kindNames = {
+    "mmx64", "mmx128", "vmmx64", "vmmx128",
+};
+
+} // namespace
+
+const SimdGeometry &
+geometry(SimdKind kind)
+{
+    return geometries[static_cast<size_t>(kind)];
+}
+
+const std::string &
+name(SimdKind kind)
+{
+    return kindNames[static_cast<size_t>(kind)];
+}
+
+SimdKind
+parseSimdKind(const std::string &name)
+{
+    for (size_t i = 0; i < kindNames.size(); ++i) {
+        if (kindNames[i] == name)
+            return static_cast<SimdKind>(i);
+    }
+    fatal("unknown SIMD kind '%s' (want mmx64|mmx128|vmmx64|vmmx128)",
+          name.c_str());
+}
+
+} // namespace vmmx

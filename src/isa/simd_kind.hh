@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The four SIMD extension flavours under study and their architectural
+ * geometry (register width, vector length, logical register counts).
+ *
+ * MMX64   -- 1-D, 64-bit packed registers (baseline, Intel MMX-like).
+ * MMX128  -- 1-D, 128-bit packed registers (Intel SSE2-like).
+ * VMMX64  -- 2-D (MOM), 16 rows x 64-bit packed words per register.
+ * VMMX128 -- 2-D (MOM), 16 rows x 128-bit packed words per register.
+ */
+
+#ifndef VMMX_ISA_SIMD_KIND_HH
+#define VMMX_ISA_SIMD_KIND_HH
+
+#include <array>
+#include <string>
+
+#include "common/types.hh"
+
+namespace vmmx
+{
+
+enum class SimdKind : u8 { MMX64 = 0, MMX128, VMMX64, VMMX128 };
+
+constexpr std::array<SimdKind, 4> allSimdKinds = {
+    SimdKind::MMX64, SimdKind::MMX128, SimdKind::VMMX64, SimdKind::VMMX128,
+};
+
+/** Architectural geometry of one SIMD flavour. */
+struct SimdGeometry
+{
+    /** Width in bits of one packed word (a register row). */
+    unsigned rowBits;
+    /** Rows per register: 1 for the 1-D extensions, 16 for MOM. */
+    unsigned maxVl;
+    /** Number of logical SIMD registers (Table III). */
+    unsigned logicalRegs;
+    /** True for the matrix (MOM) flavours. */
+    bool matrix;
+};
+
+/** @return the geometry of @p kind (Table III / section II). */
+const SimdGeometry &geometry(SimdKind kind);
+
+/** Lower-case name as used in the paper's figures ("mmx64", ...). */
+const std::string &name(SimdKind kind);
+
+/** Parse a kind name; fatal on unknown names. */
+SimdKind parseSimdKind(const std::string &name);
+
+/** Row width in bytes (8 or 16). */
+inline unsigned
+rowBytes(SimdKind kind)
+{
+    return geometry(kind).rowBits / 8;
+}
+
+inline bool
+isMatrix(SimdKind kind)
+{
+    return geometry(kind).matrix;
+}
+
+} // namespace vmmx
+
+#endif // VMMX_ISA_SIMD_KIND_HH

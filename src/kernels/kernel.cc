@@ -1,0 +1,20 @@
+#include "kernels/kernel.hh"
+
+namespace vmmx
+{
+
+void
+Kernel::emit(Program &p)
+{
+    p.beginVectorRegion();
+    if (p.matrix()) {
+        Vmmx v(p);
+        emitVmmx(p, v);
+    } else {
+        Mmx m(p);
+        emitMmx(p, m);
+    }
+    p.endVectorRegion();
+}
+
+} // namespace vmmx

@@ -1,0 +1,269 @@
+#include "kernels/kops_block.hh"
+
+#include "common/saturate.hh"
+
+namespace vmmx::kops
+{
+
+void
+goldenComp(MemImage &mem, Addr a, Addr b, Addr out, unsigned w, unsigned h,
+           unsigned lx, unsigned outLx)
+{
+    for (unsigned j = 0; j < h; ++j)
+        for (unsigned i = 0; i < w; ++i)
+            mem.write8(out + j * outLx + i,
+                       avgU8(mem.read8(a + j * lx + i),
+                             mem.read8(b + j * lx + i)));
+}
+
+void
+compScalar(Program &p, SReg a, SReg b, SReg out, unsigned w, unsigned h,
+           unsigned lx, unsigned outLx)
+{
+    auto f = p.mark();
+    SReg va = p.sreg();
+    SReg vb = p.sreg();
+    SReg ca = p.sreg();
+    SReg cb = p.sreg();
+    SReg co = p.sreg();
+    p.mov(ca, a);
+    p.mov(cb, b);
+    p.mov(co, out);
+
+    p.forLoop(h, [&](SReg) {
+        p.forLoop(w, [&](SReg i) {
+            p.add(va, ca, i);
+            p.load(va, va, 0, 1);
+            p.add(vb, cb, i);
+            p.load(vb, vb, 0, 1);
+            p.add(va, va, vb);
+            p.addi(va, va, 1);
+            p.srli(va, va, 1);
+            p.add(vb, co, i);
+            p.store(va, vb, 0, 1);
+        });
+        p.addi(ca, ca, lx);
+        p.addi(cb, cb, lx);
+        p.addi(co, co, outLx);
+    });
+    p.release(f);
+}
+
+void
+compMmx(Program &p, Mmx &m, SReg a, SReg b, SReg out, unsigned w,
+        unsigned h, unsigned lx, unsigned outLx)
+{
+    // An 8-pixel row fits a 64-bit register; the 128-bit flavour gains
+    // nothing (the paper's point about narrow data structures).
+    auto f = p.mark();
+    SReg ca = p.sreg();
+    SReg cb = p.sreg();
+    SReg co = p.sreg();
+    p.mov(ca, a);
+    p.mov(cb, b);
+    p.mov(co, out);
+
+    VR r1 = p.vreg();
+    VR r2 = p.vreg();
+    vmmx_assert(w == 8, "comp kernel operates on 8-pixel rows");
+
+    bool wide = m.width() == 16;
+    p.forLoop(h, [&](SReg) {
+        // Rows are only 8 pixels: the 128-bit flavour uses MOVQ-style
+        // half transfers and gains nothing over MMX64 (the paper's
+        // point about narrow data structures).
+        if (wide)
+            m.loadLow(r1, ca, 0);
+        else
+            m.load(r1, ca, 0);
+        p.addi(ca, ca, lx);
+        if (wide)
+            m.loadLow(r2, cb, 0);
+        else
+            m.load(r2, cb, 0);
+        p.addi(cb, cb, lx);
+        m.pavg(r1, r1, r2, ElemWidth::B8);
+        if (wide)
+            m.storeLow(r1, co, 0);
+        else
+            m.store(r1, co, 0);
+        p.addi(co, co, outLx);
+    });
+    p.release(f);
+}
+
+void
+compVmmx(Program &p, Vmmx &v, SReg a, SReg b, SReg out, unsigned w,
+         unsigned h, SReg lx, SReg outLx)
+{
+    auto f = p.mark();
+    vmmx_assert(w == 8, "comp kernel operates on 8-pixel rows");
+    v.setvl(u16(h));
+
+    VR r1 = p.vreg();
+    VR r2 = p.vreg();
+    if (v.width() == 16) {
+        // 8-pixel rows half-fill the 128-bit rows: partial movement.
+        v.loadHalf(r1, a, 0, lx);
+        v.loadHalf(r2, b, 0, lx);
+        v.pavg(r1, r1, r2, ElemWidth::B8);
+        v.storeHalf(r1, out, 0, outLx);
+    } else {
+        v.load(r1, a, 0, lx);
+        v.load(r2, b, 0, lx);
+        v.pavg(r1, r1, r2, ElemWidth::B8);
+        v.store(r1, out, 0, outLx);
+    }
+    p.release(f);
+}
+
+void
+goldenAddblock(MemImage &mem, Addr pred, Addr res, Addr out, unsigned lx,
+               unsigned outLx)
+{
+    for (unsigned j = 0; j < 8; ++j) {
+        for (unsigned i = 0; i < 8; ++i) {
+            s32 r = s16(mem.read16(res + (j * 8 + i) * 2));
+            s32 v = s32(mem.read8(pred + j * lx + i)) + r;
+            mem.write8(out + j * outLx + i,
+                       u8(std::clamp<s32>(v, 0, 255)));
+        }
+    }
+}
+
+void
+addblockScalar(Program &p, SReg pred, SReg res, SReg out, unsigned lx,
+               unsigned outLx)
+{
+    auto f = p.mark();
+    SReg vp = p.sreg();
+    SReg vr = p.sreg();
+    SReg t = p.sreg();
+    SReg cp = p.sreg();
+    SReg cr = p.sreg();
+    SReg co = p.sreg();
+    SReg c255 = p.sreg();
+    SReg zero = p.sreg();
+    p.mov(cp, pred);
+    p.mov(cr, res);
+    p.mov(co, out);
+    p.li(c255, 255);
+    p.li(zero, 0);
+
+    p.forLoop(8, [&](SReg) {
+        p.forLoop(8, [&](SReg i) {
+            p.add(vp, cp, i);
+            p.load(vp, vp, 0, 1);
+            p.slli(t, i, 1);
+            p.add(vr, cr, t);
+            p.load(vr, vr, 0, 2, true);
+            p.add(vp, vp, vr);
+            if (p.brLt(vp, zero))
+                p.mov(vp, zero);
+            if (p.brLt(c255, vp))
+                p.mov(vp, c255);
+            p.add(t, co, i);
+            p.store(vp, t, 0, 1);
+        });
+        p.addi(cp, cp, lx);
+        p.addi(cr, cr, 16);
+        p.addi(co, co, outLx);
+    });
+    p.release(f);
+}
+
+void
+addblockMmx(Program &p, Mmx &m, SReg pred, SReg res, SReg out, unsigned lx,
+            unsigned outLx)
+{
+    auto f = p.mark();
+    SReg cp = p.sreg();
+    SReg cr = p.sreg();
+    SReg co = p.sreg();
+    p.mov(cp, pred);
+    p.mov(cr, res);
+    p.mov(co, out);
+
+    VR z = p.vreg();
+    VR pr = p.vreg();
+    VR lo = p.vreg();
+    VR hi = p.vreg();
+    m.pzero(z);
+
+    bool wide = m.width() == 16;
+    p.forLoop(8, [&](SReg) {
+        // 8 prediction pixels per row.
+        if (wide)
+            m.loadLow(pr, cp, 0);
+        else
+            m.load(pr, cp, 0);
+        p.addi(cp, cp, lx);
+        if (wide) {
+            // Residual row: eight s16 = 16 bytes = one load.
+            m.load(lo, cr, 0);
+            p.addi(cr, cr, 16);
+            m.unpckl(hi, pr, z, ElemWidth::B8);
+            m.padds(hi, hi, lo, ElemWidth::W16, true);
+            m.packus(hi, hi, z, ElemWidth::W16);
+            m.storeLow(hi, co, 0); // 8 valid result bytes
+        } else {
+            m.load(lo, cr, 0);
+            m.load(hi, cr, 8);
+            p.addi(cr, cr, 16);
+            VR plo = p.vreg();
+            m.unpckl(plo, pr, z, ElemWidth::B8);
+            m.padds(lo, lo, plo, ElemWidth::W16, true);
+            m.unpckh(plo, pr, z, ElemWidth::B8);
+            m.padds(hi, hi, plo, ElemWidth::W16, true);
+            m.packus(lo, lo, hi, ElemWidth::W16);
+            m.store(lo, co, 0);
+        }
+        p.addi(co, co, outLx);
+    });
+    p.release(f);
+}
+
+void
+addblockVmmx(Program &p, Vmmx &v, SReg pred, SReg res, SReg out, SReg lx,
+             SReg outLx)
+{
+    auto f = p.mark();
+    v.setvl(8);
+
+    VR z = p.vreg();
+    VR pr = p.vreg();
+    VR plo = p.vreg();
+    v.vzero(z);
+
+    if (v.width() == 16) {
+        // Residual rows are 16 bytes (unit stride); prediction rows are
+        // 8 u8 inside the frame (strided, half-used rows).
+        VR re = p.vreg();
+        SReg sixteen = p.sreg();
+        p.li(sixteen, 16);
+        v.loadHalf(pr, pred, 0, lx);
+        v.load(re, res, 0, sixteen);
+        v.unpckl(plo, pr, z, ElemWidth::B8);
+        v.padds(plo, plo, re, ElemWidth::W16, true);
+        v.packus(plo, plo, z, ElemWidth::W16);
+        v.storeHalf(plo, out, 0, outLx);
+    } else {
+        VR rlo = p.vreg();
+        VR rhi = p.vreg();
+        VR phi = p.vreg();
+        SReg sixteen = p.sreg();
+        p.li(sixteen, 16);
+        v.load(pr, pred, 0, lx);
+        v.load(rlo, res, 0, sixteen);
+        v.load(rhi, res, 8, sixteen);
+        v.unpckl(plo, pr, z, ElemWidth::B8);
+        v.unpckh(phi, pr, z, ElemWidth::B8);
+        v.padds(plo, plo, rlo, ElemWidth::W16, true);
+        v.padds(phi, phi, rhi, ElemWidth::W16, true);
+        v.packus(plo, plo, phi, ElemWidth::W16);
+        v.store(plo, out, 0, outLx);
+    }
+    p.release(f);
+}
+
+} // namespace vmmx::kops

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Small block primitives from the MPEG-2 decoder: bidirectional motion
+ * compensation (comp, 8x4 u8 averaging) and block reconstruction
+ * (addblock, 8x8: prediction u8 + residual s16 -> saturated u8).
+ */
+
+#ifndef VMMX_KERNELS_KOPS_BLOCK_HH
+#define VMMX_KERNELS_KOPS_BLOCK_HH
+
+#include "trace/mmx.hh"
+#include "trace/program.hh"
+#include "trace/vmmx.hh"
+
+namespace vmmx::kops
+{
+
+/** Golden comp: out[j][i] = (a[j][i] + b[j][i] + 1) >> 1 over w x h. */
+void goldenComp(MemImage &mem, Addr a, Addr b, Addr out, unsigned w,
+                unsigned h, unsigned lx, unsigned outLx);
+
+void compScalar(Program &p, SReg a, SReg b, SReg out, unsigned w,
+                unsigned h, unsigned lx, unsigned outLx);
+void compMmx(Program &p, Mmx &m, SReg a, SReg b, SReg out, unsigned w,
+             unsigned h, unsigned lx, unsigned outLx);
+void compVmmx(Program &p, Vmmx &v, SReg a, SReg b, SReg out, unsigned w,
+              unsigned h, SReg lx, SReg outLx);
+
+/** Golden addblock: out = clamp_u8(pred + res) over 8x8; res is s16. */
+void goldenAddblock(MemImage &mem, Addr pred, Addr res, Addr out,
+                    unsigned lx, unsigned outLx);
+
+void addblockScalar(Program &p, SReg pred, SReg res, SReg out, unsigned lx,
+                    unsigned outLx);
+void addblockMmx(Program &p, Mmx &m, SReg pred, SReg res, SReg out,
+                 unsigned lx, unsigned outLx);
+void addblockVmmx(Program &p, Vmmx &v, SReg pred, SReg res, SReg out,
+                  SReg lx, SReg outLx);
+
+} // namespace vmmx::kops
+
+#endif // VMMX_KERNELS_KOPS_BLOCK_HH

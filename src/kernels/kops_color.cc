@@ -1,0 +1,606 @@
+#include "kernels/kops_color.hh"
+
+#include "common/saturate.hh"
+#include "kernels/kops_util.hh"
+
+namespace vmmx::kops
+{
+
+namespace
+{
+
+// Fixed-point conversion coefficients (scaled by 256).
+constexpr s32 cYR = 77, cYG = 150, cYB = 29;
+constexpr s32 cCbR = -43, cCbG = -85, cCbB = 128;
+constexpr s32 cCrR = 128, cCrG = -107, cCrB = -21;
+
+constexpr s32 cRCr = 359;
+constexpr s32 cGCb = 88, cGCr = 183;
+constexpr s32 cBCb = 454;
+
+u8
+clamp255(s32 v)
+{
+    return u8(std::clamp<s32>(v, 0, 255));
+}
+
+u64
+byteMask(std::initializer_list<unsigned> positions)
+{
+    u64 m = 0;
+    for (unsigned b : positions)
+        m |= u64(0xff) << (8 * b);
+    return m;
+}
+
+} // namespace
+
+void
+goldenRgb2Ycc(MemImage &mem, Addr rgb, Addr y, Addr cb, Addr cr, unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        s32 r = mem.read8(rgb + 3 * i);
+        s32 g = mem.read8(rgb + 3 * i + 1);
+        s32 b = mem.read8(rgb + 3 * i + 2);
+        mem.write8(y + i, u8(asr(cYR * r + cYG * g + cYB * b, 8)));
+        mem.write8(cb + i,
+                   u8(asr(cCbR * r + cCbG * g + cCbB * b, 8) + 128));
+        mem.write8(cr + i,
+                   u8(asr(cCrR * r + cCrG * g + cCrB * b, 8) + 128));
+    }
+}
+
+void
+rgb2YccScalar(Program &p, SReg rgb, SReg y, SReg cb, SReg cr, unsigned n)
+{
+    auto f = p.mark();
+    SReg r = p.sreg();
+    SReg g = p.sreg();
+    SReg b = p.sreg();
+    SReg t = p.sreg();
+    SReg acc = p.sreg();
+    SReg src = p.sreg();
+    p.mov(src, rgb);
+
+    p.forLoop(n, [&](SReg i) {
+        p.load(r, src, 0, 1);
+        p.load(g, src, 1, 1);
+        p.load(b, src, 2, 1);
+        p.addi(src, src, 3);
+
+        p.muli(acc, r, cYR);
+        p.muli(t, g, cYG);
+        p.add(acc, acc, t);
+        p.muli(t, b, cYB);
+        p.add(acc, acc, t);
+        p.srai(acc, acc, 8);
+        p.add(t, y, i);
+        p.store(acc, t, 0, 1);
+
+        p.muli(acc, r, cCbR);
+        p.muli(t, g, cCbG);
+        p.add(acc, acc, t);
+        p.muli(t, b, cCbB);
+        p.add(acc, acc, t);
+        p.srai(acc, acc, 8);
+        p.addi(acc, acc, 128);
+        p.add(t, cb, i);
+        p.store(acc, t, 0, 1);
+
+        p.muli(acc, r, cCrR);
+        p.muli(t, g, cCrG);
+        p.add(acc, acc, t);
+        p.muli(t, b, cCrB);
+        p.add(acc, acc, t);
+        p.srai(acc, acc, 8);
+        p.addi(acc, acc, 128);
+        p.add(t, cr, i);
+        p.store(acc, t, 0, 1);
+    });
+    p.release(f);
+}
+
+void
+rgb2YccMmx(Program &p, Mmx &m, SReg rgb, SReg y, SReg cb, SReg cr,
+           unsigned n)
+{
+    vmmx_assert(n % 8 == 0, "rgb kernel works in groups of 8 pixels");
+    auto f = p.mark();
+    bool wide = m.width() == 16;
+
+    // Three gather masks cover every (component, load) combination of
+    // the stride-3 deinterleave.
+    VR m036 = p.vreg();
+    VR m147 = p.vreg();
+    VR m25 = p.vreg();
+    VR lm3 = p.vreg();
+    VR lm2 = p.vreg();
+    mconst64(p, m, m036, byteMask({0, 3, 6}), 0);
+    mconst64(p, m, m147, byteMask({1, 4, 7}), 0);
+    mconst64(p, m, m25, byteMask({2, 5}), 0);
+    mconst64(p, m, lm3, byteMask({0, 1, 2}), 0);
+    mconst64(p, m, lm2, byteMask({0, 1}), 0);
+
+    VR patRG[3], patB[3];
+    const s32 coefR[3] = {cYR, cCbR, cCrR};
+    const s32 coefG[3] = {cYG, cCbG, cCrG};
+    const s32 coefB[3] = {cYB, cCbB, cCrB};
+    for (unsigned c = 0; c < 3; ++c) {
+        patRG[c] = p.vreg();
+        patB[c] = p.vreg();
+        mconst16(p, m, patRG[c],
+                 {s16(coefR[c]), s16(coefG[c]), s16(coefR[c]),
+                  s16(coefG[c]), s16(coefR[c]), s16(coefG[c]),
+                  s16(coefR[c]), s16(coefG[c])});
+        mconst16(p, m, patB[c],
+                 {s16(coefB[c]), 0, s16(coefB[c]), 0, s16(coefB[c]), 0,
+                  s16(coefB[c]), 0});
+    }
+    VR bias = p.vreg();
+    msplat32(p, m, bias, 128);
+    VR z = p.vreg();
+    m.pzero(z);
+
+    VR A = p.vreg();
+    VR B = p.vreg();
+    VR C = p.vreg();
+    VR plane[3] = {p.vreg(), p.vreg(), p.vreg()};
+    VR t0 = p.vreg();
+    VR t1 = p.vreg();
+    VR t2 = p.vreg();
+    VR comp16 = p.vreg(); // widened component halves (per use)
+    VR g16 = p.vreg();
+    VR b16 = p.vreg();
+    VR rg = p.vreg();
+    VR bz = p.vreg();
+    VR sumLo = p.vreg();
+    SReg src = p.sreg();
+    SReg dst = p.sreg();
+    p.mov(src, rgb);
+
+    // Gather one component from one 8-byte load into `out` low bytes.
+    // kind: 0 -> positions {0,3,6}, 1 -> {1,4,7}, 2 -> {2,5}.
+    auto gather = [&](VR out, VR srcReg, unsigned kind) {
+        VR mask = kind == 0 ? m036 : kind == 1 ? m147 : m25;
+        m.pand(out, srcReg, mask);
+        if (kind == 1)
+            m.psrli(out, out, 8, ElemWidth::Q64);
+        if (kind == 2)
+            m.psrli(out, out, 16, ElemWidth::Q64);
+        // Merge shifted copies of the *original* gathered value so the
+        // stray source bytes cannot alias into the compacted slots.
+        m.psrli(t1, out, 16, ElemWidth::Q64);
+        if (kind != 2) {
+            m.psrli(t2, out, 32, ElemWidth::Q64);
+            m.por(out, out, t1);
+            m.por(out, out, t2);
+            m.pand(out, out, lm3);
+        } else {
+            m.por(out, out, t1);
+            m.pand(out, out, lm2);
+        }
+    };
+
+    // Per component: gather from A/B/C and place at slots.
+    // R: A{036}->0, B{147}->3, C{25}->6
+    // G: A{147}->0, B{25}->3, C{036}->5
+    // B: A{25}->0, B{036}->2, C{147}->5
+    static const unsigned kindTab[3][3] = {{0, 1, 2}, {1, 2, 0}, {2, 0, 1}};
+    static const unsigned slotTab[3][3] = {{0, 3, 6}, {0, 3, 5}, {0, 2, 5}};
+
+    unsigned groups = n / 8;
+    p.forLoop(groups, [&](SReg gi) {
+        m.load(A, src, 0);
+        m.load(B, src, 8);
+        m.load(C, src, 16);
+        p.addi(src, src, 24);
+
+        VR loads[3] = {A, B, C};
+        for (unsigned c = 0; c < 3; ++c) {
+            for (unsigned l = 0; l < 3; ++l) {
+                gather(t0, loads[l], kindTab[c][l]);
+                if (slotTab[c][l] != 0)
+                    m.pslli(t0, t0, 8 * slotTab[c][l], ElemWidth::Q64);
+                if (l == 0)
+                    m.por(plane[c], t0, t0);
+                else
+                    m.por(plane[c], plane[c], t0);
+            }
+        }
+
+        // Convert.  Halves of 4 pixels for the 64-bit flavour, one
+        // 8-pixel pass for the 128-bit one.
+        unsigned halves = wide ? 1 : 2;
+        SReg outPlane[3] = {y, cb, cr};
+        for (unsigned half = 0; half < halves; ++half) {
+            if (half == 0) {
+                m.unpckl(comp16, plane[0], z, ElemWidth::B8);
+                m.unpckl(g16, plane[1], z, ElemWidth::B8);
+                m.unpckl(b16, plane[2], z, ElemWidth::B8);
+            } else {
+                m.unpckh(comp16, plane[0], z, ElemWidth::B8);
+                m.unpckh(g16, plane[1], z, ElemWidth::B8);
+                m.unpckh(b16, plane[2], z, ElemWidth::B8);
+            }
+            for (unsigned c = 0; c < 3; ++c) {
+                m.unpckl(rg, comp16, g16, ElemWidth::W16);
+                m.unpckl(bz, b16, z, ElemWidth::W16);
+                m.pmadd(rg, rg, patRG[c]);
+                m.pmadd(bz, bz, patB[c]);
+                m.padd(rg, rg, bz, ElemWidth::D32);
+                m.psrai(rg, rg, 8, ElemWidth::D32);
+                if (c > 0)
+                    m.padd(rg, rg, bias, ElemWidth::D32);
+                m.por(sumLo, rg, rg);
+                m.unpckh(rg, comp16, g16, ElemWidth::W16);
+                m.unpckh(bz, b16, z, ElemWidth::W16);
+                m.pmadd(rg, rg, patRG[c]);
+                m.pmadd(bz, bz, patB[c]);
+                m.padd(rg, rg, bz, ElemWidth::D32);
+                m.psrai(rg, rg, 8, ElemWidth::D32);
+                if (c > 0)
+                    m.padd(rg, rg, bias, ElemWidth::D32);
+                m.packs(sumLo, sumLo, rg, ElemWidth::D32);
+                m.packus(sumLo, sumLo, z, ElemWidth::W16);
+                p.slli(dst, gi, 3);
+                p.add(dst, dst, outPlane[c]);
+                if (wide) {
+                    // 8 bytes of results in the low half.
+                    m.storeLow(sumLo, dst, 0);
+                } else {
+                    // 4 bytes valid; write-forward with padding.
+                    m.store(sumLo, dst, s64(half * 4));
+                }
+            }
+        }
+    });
+    p.release(f);
+}
+
+void
+rgb2YccVmmx(Program &p, Vmmx &v, SReg rgb, SReg y, SReg cb, SReg cr,
+            unsigned n)
+{
+    auto f = p.mark();
+    unsigned w = v.width();
+    unsigned group = w / 2; // pixels per sweep: 4 (vmmx64) or 8 (vmmx128)
+    vmmx_assert(n % group == 0, "pixel count must be a group multiple");
+
+    SReg three = p.sreg();
+    p.li(three, 3);
+    SReg src = p.sreg();
+    p.mov(src, rgb);
+    SReg dst = p.sreg();
+    SReg caddr = p.sreg();
+    SReg zstride = p.sreg();
+    p.li(zstride, 0);
+
+    v.setvl(u16(group));
+
+    // One [cR cG cB 0 ...] pattern row per output component, broadcast
+    // to all rows with a stride-0 load.
+    VR pat[3];
+    const s32 coefs[3][3] = {
+        {cYR, cYG, cYB}, {cCbR, cCbG, cCbB}, {cCrR, cCrG, cCrB}};
+    for (unsigned c = 0; c < 3; ++c) {
+        pat[c] = p.vreg();
+        std::array<s16, 8> buf{};
+        for (unsigned k = 0; k < 3; ++k)
+            buf[k] = s16(coefs[c][k]);
+        Addr a = stash(p, buf.data(), sizeof(buf));
+        p.li(caddr, a);
+        v.load(pat[c], caddr, 0, zstride);
+    }
+
+    VR z = p.vreg();
+    v.vzero(z);
+    VR bias = p.vreg();
+    vsplat32(p, v, bias, 128);
+
+    VR x = p.vreg();
+    VR x16 = p.vreg();
+    VR prod = p.vreg();
+    VR t = p.vreg();
+    SReg outPlane[3] = {y, cb, cr};
+
+    p.forLoop(s64(n / group), [&](SReg gi) {
+        // One pixel per matrix row: row r starts at byte 3r.
+        v.load(x, src, 0, three);
+        p.addi(src, src, s64(3 * group));
+        v.unpckl(x16, x, z, ElemWidth::B8);
+
+        for (unsigned c = 0; c < 3; ++c) {
+            v.pmadd(prod, x16, pat[c]);
+            v.psrli(t, prod, 32, ElemWidth::Q64);
+            v.padd(prod, prod, t, ElemWidth::D32);
+            v.psrai(prod, prod, 8, ElemWidth::D32);
+            if (c > 0)
+                v.padd(prod, prod, bias, ElemWidth::D32);
+            v.packs(prod, prod, z, ElemWidth::D32);
+            // Results sit in column 0; transpose moves them to row 0.
+            v.vtransp(t, prod);
+            v.packus(t, t, z, ElemWidth::W16);
+            p.muli(dst, gi, group);
+            p.add(dst, dst, outPlane[c]);
+            v.storePartial(t, 0, 1, dst, 0, three);
+        }
+    });
+    p.release(f);
+}
+
+void
+goldenYcc2Rgb(MemImage &mem, Addr y, Addr cb, Addr cr, Addr r, Addr g,
+              Addr b, unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        s32 yy = mem.read8(y + i);
+        s32 cbv = s32(mem.read8(cb + i)) - 128;
+        s32 crv = s32(mem.read8(cr + i)) - 128;
+        mem.write8(r + i, clamp255(yy + asr(cRCr * crv, 8)));
+        mem.write8(g + i, clamp255(yy - asr(cGCb * cbv + cGCr * crv, 8)));
+        mem.write8(b + i, clamp255(yy + asr(cBCb * cbv, 8)));
+    }
+}
+
+void
+ycc2RgbScalar(Program &p, SReg y, SReg cb, SReg cr, SReg r, SReg g, SReg b,
+              unsigned n)
+{
+    auto f = p.mark();
+    SReg yy = p.sreg();
+    SReg vb = p.sreg();
+    SReg vr = p.sreg();
+    SReg t = p.sreg();
+    SReg t2 = p.sreg();
+    SReg zero = p.sreg();
+    SReg c255 = p.sreg();
+    p.li(zero, 0);
+    p.li(c255, 255);
+
+    auto clampStore = [&](SReg val, SReg plane, SReg idx) {
+        if (p.brLt(val, zero))
+            p.mov(val, zero);
+        if (p.brLt(c255, val))
+            p.mov(val, c255);
+        p.add(t2, plane, idx);
+        p.store(val, t2, 0, 1);
+    };
+
+    p.forLoop(n, [&](SReg i) {
+        p.add(t, y, i);
+        p.load(yy, t, 0, 1);
+        p.add(t, cb, i);
+        p.load(vb, t, 0, 1);
+        p.addi(vb, vb, -128);
+        p.add(t, cr, i);
+        p.load(vr, t, 0, 1);
+        p.addi(vr, vr, -128);
+
+        p.muli(t, vr, cRCr);
+        p.srai(t, t, 8);
+        p.add(t, t, yy);
+        clampStore(t, r, i);
+
+        p.muli(t, vb, cGCb);
+        p.muli(t2, vr, cGCr);
+        p.add(t, t, t2);
+        p.srai(t, t, 8);
+        p.sub(t, yy, t);
+        clampStore(t, g, i);
+
+        p.muli(t, vb, cBCb);
+        p.srai(t, t, 8);
+        p.add(t, t, yy);
+        clampStore(t, b, i);
+    });
+    p.release(f);
+}
+
+namespace
+{
+
+/**
+ * Shared row recipe for ycc2rgb: the 1-D and 2-D engines expose the same
+ * arithmetic method names, so one template emits both; only memory and
+ * splat operations are adapted.  Register budget fits the matrix
+ * flavours' 16 logical registers.
+ */
+template <typename E, typename Adapter>
+void
+ycc2RgbBody(Program &p, E &e, Adapter ad, unsigned w, SReg y, SReg cb,
+            SReg cr, SReg r, SReg g, SReg b, unsigned n)
+{
+    unsigned sweepPixels = ad.sweepPixels;
+    vmmx_assert(n % sweepPixels == 0, "pixel count per sweep");
+    auto f = p.mark();
+
+    VR Z = p.vreg();
+    VR C128 = p.vreg();
+    VR MR = p.vreg();
+    VR MGB = p.vreg();
+    VR MGR = p.vreg();
+    VR MB = p.vreg();
+    ad.zero(Z);
+    ad.splat16(C128, 128);
+    ad.splat32(MR, cRCr);
+    ad.splat32(MGB, cGCb);
+    ad.splat32(MGR, cGCr);
+    ad.splat32(MB, cBCb);
+
+    VR ylo = p.vreg();
+    VR yhi = p.vreg();
+    VR cblo = p.vreg();
+    VR cbhi = p.vreg();
+    VR crlo = p.vreg();
+    VR crhi = p.vreg();
+    VR t0 = p.vreg();
+    VR t1 = p.vreg();
+    VR outw = p.vreg();
+
+    SReg sy = p.sreg();
+    SReg scb = p.sreg();
+    SReg scr = p.sreg();
+    SReg sout[3];
+    sout[0] = p.sreg();
+    sout[1] = p.sreg();
+    sout[2] = p.sreg();
+    p.mov(sy, y);
+    p.mov(scb, cb);
+    p.mov(scr, cr);
+    p.mov(sout[0], r);
+    p.mov(sout[1], g);
+    p.mov(sout[2], b);
+
+    // Widen one source plane's current half into s32 lo/hi.
+    auto widen = [&](VR lo, VR hi, SReg plane, unsigned half,
+                     bool chroma) {
+        ad.load(t0, plane);
+        if (half == 0)
+            e.unpckl(t0, t0, Z, ElemWidth::B8);
+        else
+            e.unpckh(t0, t0, Z, ElemWidth::B8);
+        if (chroma)
+            e.psub(t0, t0, C128, ElemWidth::W16);
+        e.psrai(t1, t0, 15, ElemWidth::W16);
+        e.unpckl(lo, t0, t1, ElemWidth::W16);
+        e.unpckh(hi, t0, t1, ElemWidth::W16);
+    };
+
+    p.forLoop(s64(n / sweepPixels), [&](SReg) {
+        // Two halves per sweep; the first half's saturated s16 results
+        // are spilled to scratch and combined by the second (the
+        // register budget of the 16-register matrix file forbids
+        // keeping all three components live).
+        for (unsigned half = 0; half < 2; ++half) {
+            widen(ylo, yhi, sy, half, false);
+            widen(cblo, cbhi, scb, half, true);
+            widen(crlo, crhi, scr, half, true);
+
+            for (unsigned c = 0; c < 3; ++c) {
+                // t0/t1 = (coef * chroma) >> 8 per s32 half.
+                if (c == 0) {
+                    e.pmull(t0, crlo, MR, ElemWidth::D32);
+                    e.pmull(t1, crhi, MR, ElemWidth::D32);
+                } else if (c == 1) {
+                    e.pmull(t0, cblo, MGB, ElemWidth::D32);
+                    e.pmull(t1, cbhi, MGB, ElemWidth::D32);
+                    e.pmull(outw, crlo, MGR, ElemWidth::D32);
+                    e.padd(t0, t0, outw, ElemWidth::D32);
+                    e.pmull(outw, crhi, MGR, ElemWidth::D32);
+                    e.padd(t1, t1, outw, ElemWidth::D32);
+                } else {
+                    e.pmull(t0, cblo, MB, ElemWidth::D32);
+                    e.pmull(t1, cbhi, MB, ElemWidth::D32);
+                }
+                e.psrai(t0, t0, 8, ElemWidth::D32);
+                e.psrai(t1, t1, 8, ElemWidth::D32);
+                if (c == 1) {
+                    e.psub(t0, ylo, t0, ElemWidth::D32);
+                    e.psub(t1, yhi, t1, ElemWidth::D32);
+                } else {
+                    e.padd(t0, t0, ylo, ElemWidth::D32);
+                    e.padd(t1, t1, yhi, ElemWidth::D32);
+                }
+                e.packs(outw, t0, t1, ElemWidth::D32);
+                if (half == 0) {
+                    ad.saveS16(outw, c);
+                } else {
+                    ad.loadS16(t0, c);
+                    e.packus(outw, t0, outw, ElemWidth::W16);
+                    ad.storeFinal(outw, sout[c]);
+                }
+            }
+        }
+        ad.advance(sy, scb, scr, sout);
+    });
+    p.release(f);
+}
+
+} // namespace
+
+void
+ycc2RgbMmx(Program &p, Mmx &m, SReg y, SReg cb, SReg cr, SReg r, SReg g,
+           SReg b, unsigned n)
+{
+    SReg scratch = p.sreg();
+    p.li(scratch, p.mem().alloc(3 * 16, 16));
+    struct Ad
+    {
+        Program &p;
+        Mmx &m;
+        unsigned sweepPixels;
+        SReg scratch;
+        void zero(VR d) { m.pzero(d); }
+        void splat16(VR d, s16 v) { msplat16(p, m, d, v); }
+        void splat32(VR d, s32 v) { msplat32(p, m, d, v); }
+        void load(VR d, SReg base) { m.load(d, base, 0); }
+        void
+        saveS16(VR s, unsigned c)
+        {
+            m.store(s, scratch, s64(16 * c));
+        }
+        void
+        loadS16(VR d, unsigned c)
+        {
+            m.load(d, scratch, s64(16 * c));
+        }
+        void storeFinal(VR s, SReg base) { m.store(s, base, 0); }
+        void
+        advance(SReg sy, SReg scb, SReg scr, SReg *sout)
+        {
+            s64 step = s64(m.width());
+            p.addi(sy, sy, step);
+            p.addi(scb, scb, step);
+            p.addi(scr, scr, step);
+            for (int i = 0; i < 3; ++i)
+                p.addi(sout[i], sout[i], step);
+        }
+    };
+    Ad ad{p, m, m.width(), scratch};
+    ycc2RgbBody(p, m, ad, m.width(), y, cb, cr, r, g, b, n);
+}
+
+void
+ycc2RgbVmmx(Program &p, Vmmx &v, SReg y, SReg cb, SReg cr, SReg r, SReg g,
+            SReg b, unsigned n)
+{
+    v.setvl(16);
+    SReg scratch = p.sreg();
+    p.li(scratch, p.mem().alloc(3 * 16 * 16, 16));
+    struct Ad
+    {
+        Program &p;
+        Vmmx &v;
+        unsigned sweepPixels;
+        SReg scratch;
+        void zero(VR d) { v.vzero(d); }
+        void splat16(VR d, s16 val) { vsplat16(p, v, d, val); }
+        void splat32(VR d, s32 val) { vsplat32(p, v, d, val); }
+        void load(VR d, SReg base) { v.loadU(d, base, 0); }
+        void
+        saveS16(VR s, unsigned c)
+        {
+            v.storeU(s, scratch, s64(16 * 16 * c));
+        }
+        void
+        loadS16(VR d, unsigned c)
+        {
+            v.loadU(d, scratch, s64(16 * 16 * c));
+        }
+        void storeFinal(VR s, SReg base) { v.storeU(s, base, 0); }
+        void
+        advance(SReg sy, SReg scb, SReg scr, SReg *sout)
+        {
+            s64 step = s64(v.width()) * 16;
+            p.addi(sy, sy, step);
+            p.addi(scb, scb, step);
+            p.addi(scr, scr, step);
+            for (int i = 0; i < 3; ++i)
+                p.addi(sout[i], sout[i], step);
+        }
+    };
+    Ad ad{p, v, v.width() * 16, scratch};
+    ycc2RgbBody(p, v, ad, v.width(), y, cb, cr, r, g, b, n);
+}
+
+} // namespace vmmx::kops

@@ -1,0 +1,448 @@
+#include "kernels/kops_gsm.hh"
+
+#include "common/saturate.hh"
+#include "kernels/kops_util.hh"
+
+namespace vmmx::kops
+{
+
+namespace
+{
+
+s64
+goldenCorr(const MemImage &mem, Addr d, Addr hist, unsigned lag)
+{
+    s64 sum = 0;
+    for (unsigned k = 0; k < 40; ++k) {
+        s64 a = s16(mem.read16(d + 2 * k));
+        s64 b = s16(mem.read16(hist + 2 * (120 + k - lag)));
+        sum += a * b;
+    }
+    return sum;
+}
+
+} // namespace
+
+void
+goldenLtppar(MemImage &mem, Addr d, Addr hist, Addr outLag, Addr outBc)
+{
+    s64 best = goldenCorr(mem, d, hist, 40);
+    unsigned bestLag = 40;
+    for (unsigned lag = 41; lag <= 120; ++lag) {
+        s64 c = goldenCorr(mem, d, hist, lag);
+        if (c > best) {
+            best = c;
+            bestLag = lag;
+        }
+    }
+    // Gain index: compare the winning correlation against the history
+    // power scaled by the DLB thresholds.
+    s64 power = 0;
+    for (unsigned k = 0; k < 40; ++k) {
+        s64 b = s16(mem.read16(hist + 2 * (120 + k - bestLag)));
+        power += b * b;
+    }
+    unsigned bc = 0;
+    for (unsigned i = 0; i < 3; ++i) {
+        if (best > asr64(gsmDLB[i] * power, 15))
+            bc = i + 1;
+    }
+    mem.write16(outLag, u16(bestLag));
+    mem.write16(outBc, u16(bc));
+}
+
+void
+ltpparScalar(Program &p, SReg d, SReg hist, SReg outLag, SReg outBc)
+{
+    auto f = p.mark();
+    SReg corr = p.sreg();
+    SReg best = p.sreg();
+    SReg bestLag = p.sreg();
+    SReg hptr = p.sreg();
+    SReg a = p.sreg();
+    SReg b = p.sreg();
+    SReg t = p.sreg();
+
+    p.li(best, u64(s64(-1) << 62));
+    p.li(bestLag, 40);
+
+    p.forLoop(81, [&](SReg li) {
+        // hptr = hist + 2 * (120 - (40 + li))
+        p.li(t, 80);
+        p.sub(t, t, li);
+        p.slli(t, t, 1);
+        p.add(hptr, hist, t);
+        p.li(corr, 0);
+        p.forLoop(40, [&](SReg k) {
+            p.slli(t, k, 1);
+            p.add(a, d, t);
+            p.load(a, a, 0, 2, true);
+            p.add(b, hptr, t);
+            p.load(b, b, 0, 2, true);
+            p.mul(a, a, b);
+            p.add(corr, corr, a);
+        });
+        if (p.brLt(best, corr)) {
+            p.mov(best, corr);
+            p.addi(bestLag, li, 40);
+        }
+    });
+
+    // Power of the winning window and gain quantisation.
+    SReg power = p.sreg();
+    p.li(power, 0);
+    p.li(t, 120);
+    p.sub(t, t, bestLag);
+    p.slli(t, t, 1);
+    p.add(hptr, hist, t);
+    p.forLoop(40, [&](SReg k) {
+        p.slli(t, k, 1);
+        p.add(b, hptr, t);
+        p.load(b, b, 0, 2, true);
+        p.mul(b, b, b);
+        p.add(power, power, b);
+    });
+    SReg bc = p.sreg();
+    p.li(bc, 0);
+    for (unsigned i = 0; i < 3; ++i) {
+        p.muli(t, power, gsmDLB[i]);
+        p.srai(t, t, 15);
+        if (p.brLt(t, best))
+            p.li(bc, i + 1);
+    }
+    p.store(bestLag, outLag, 0, 2);
+    p.store(bc, outBc, 0, 2);
+    p.release(f);
+}
+
+void
+ltpparMmx(Program &p, Mmx &m, SReg d, SReg hist, SReg outLag, SReg outBc)
+{
+    auto f = p.mark();
+    unsigned w = m.width();
+    unsigned chunks = 80 / w; // 10 for MMX64, 5 for MMX128
+
+    // Keep the residual resident in registers across the whole search.
+    std::vector<VR> dr(chunks);
+    for (unsigned c = 0; c < chunks; ++c) {
+        dr[c] = p.vreg();
+        m.load(dr[c], d, s64(c * w));
+    }
+    VR h = p.vreg();
+    VR acc = p.vreg();
+    SReg corr = p.sreg();
+    SReg best = p.sreg();
+    SReg bestLag = p.sreg();
+    SReg hptr = p.sreg();
+    SReg t = p.sreg();
+    p.li(best, u64(s64(-1) << 62));
+    p.li(bestLag, 40);
+
+    p.forLoop(81, [&](SReg li) {
+        p.li(t, 80);
+        p.sub(t, t, li);
+        p.slli(t, t, 1);
+        p.add(hptr, hist, t);
+        for (unsigned c = 0; c < chunks; ++c) {
+            m.load(h, hptr, s64(c * w));
+            m.pmadd(h, dr[c], h);
+            if (c == 0)
+                m.por(acc, h, h);
+            else
+                m.padd(acc, acc, h, ElemWidth::D32);
+        }
+        m.psum(corr, acc, ElemWidth::D32, true);
+        if (p.brLt(best, corr)) {
+            p.mov(best, corr);
+            p.addi(bestLag, li, 40);
+        }
+    });
+
+    SReg power = p.sreg();
+    p.li(t, 120);
+    p.sub(t, t, bestLag);
+    p.slli(t, t, 1);
+    p.add(hptr, hist, t);
+    for (unsigned c = 0; c < chunks; ++c) {
+        m.load(h, hptr, s64(c * w));
+        m.pmadd(h, h, h);
+        if (c == 0)
+            m.por(acc, h, h);
+        else
+            m.padd(acc, acc, h, ElemWidth::D32);
+    }
+    m.psum(power, acc, ElemWidth::D32, true);
+
+    SReg bc = p.sreg();
+    p.li(bc, 0);
+    for (unsigned i = 0; i < 3; ++i) {
+        p.muli(t, power, gsmDLB[i]);
+        p.srai(t, t, 15);
+        if (p.brLt(t, best))
+            p.li(bc, i + 1);
+    }
+    p.store(bestLag, outLag, 0, 2);
+    p.store(bc, outBc, 0, 2);
+    p.release(f);
+}
+
+void
+ltpparVmmx(Program &p, Vmmx &v, SReg d, SReg hist, SReg outLag, SReg outBc)
+{
+    auto f = p.mark();
+    unsigned w = v.width();
+    u16 rows = u16(80 / w); // 10 for VMMX64, 5 for VMMX128
+    v.setvl(rows);
+
+    VR dr = p.vreg();
+    VR h = p.vreg();
+    AR acc = p.areg();
+    v.loadU(dr, d, 0); // residual stays in one matrix register
+
+    SReg corr = p.sreg();
+    SReg best = p.sreg();
+    SReg bestLag = p.sreg();
+    SReg hptr = p.sreg();
+    SReg t = p.sreg();
+    p.li(best, u64(s64(-1) << 62));
+    p.li(bestLag, 40);
+
+    p.forLoop(81, [&](SReg li) {
+        p.li(t, 80);
+        p.sub(t, t, li);
+        p.slli(t, t, 1);
+        p.add(hptr, hist, t);
+        v.accclr(acc);
+        v.loadU(h, hptr, 0);
+        v.vmacc(acc, dr, h);
+        v.accsum(corr, acc);
+        if (p.brLt(best, corr)) {
+            p.mov(best, corr);
+            p.addi(bestLag, li, 40);
+        }
+    });
+
+    SReg power = p.sreg();
+    p.li(t, 120);
+    p.sub(t, t, bestLag);
+    p.slli(t, t, 1);
+    p.add(hptr, hist, t);
+    v.accclr(acc);
+    v.loadU(h, hptr, 0);
+    v.vmacc(acc, h, h);
+    v.accsum(power, acc);
+
+    SReg bc = p.sreg();
+    p.li(bc, 0);
+    for (unsigned i = 0; i < 3; ++i) {
+        p.muli(t, power, gsmDLB[i]);
+        p.srai(t, t, 15);
+        if (p.brLt(t, best))
+            p.li(bc, i + 1);
+    }
+    p.store(bestLag, outLag, 0, 2);
+    p.store(bc, outBc, 0, 2);
+    p.release(f);
+}
+
+void
+goldenLtpfilt(MemImage &mem, Addr erp, Addr buf, Addr nc, Addr bc)
+{
+    for (unsigned sub = 0; sub < 3; ++sub) {
+        unsigned ncv = mem.read16(nc + 2 * sub);
+        unsigned bcv = mem.read16(bc + 2 * sub);
+        s64 qlb = gsmQLB[bcv & 3];
+        for (unsigned k = 0; k < 40; ++k) {
+            unsigned idx = 120 + sub * 40 + k;
+            s64 histv = s16(mem.read16(buf + 2 * (idx - ncv)));
+            s64 pred = asr64(qlb * histv + 16384, 15);
+            s64 e = s16(mem.read16(erp + 2 * (sub * 40 + k)));
+            mem.write16(buf + 2 * idx, u16(clampTo<s16>(e + pred)));
+        }
+    }
+}
+
+void
+ltpfiltScalar(Program &p, SReg erp, SReg buf, SReg nc, SReg bc)
+{
+    auto f = p.mark();
+    SReg ncv = p.sreg();
+    SReg qlb = p.sreg();
+    SReg t = p.sreg();
+    SReg e = p.sreg();
+    SReg hv = p.sreg();
+    SReg dst = p.sreg();
+    SReg hi = p.sreg();
+    SReg lo = p.sreg();
+    p.li(hi, 32767);
+    p.li(lo, u64(s64(-32768)));
+
+    // QLB lookup table in the constant pool.
+    u16 qtab[4];
+    for (unsigned i = 0; i < 4; ++i)
+        qtab[i] = u16(gsmQLB[i]);
+    Addr qaddr = stash(p, qtab, sizeof(qtab));
+    SReg qbase = p.sreg();
+    p.li(qbase, qaddr);
+
+    for (unsigned sub = 0; sub < 3; ++sub) {
+        // ncv = nc[sub]; qlb = QLB[bc[sub]]
+        p.load(ncv, nc, s64(2 * sub), 2);
+        p.load(qlb, bc, s64(2 * sub), 2);
+        p.slli(qlb, qlb, 1);
+        p.add(qlb, qlb, qbase);
+        p.load(qlb, qlb, 0, 2);
+        // dst = buf + 2*(120 + sub*40); src hist = dst - 2*ncv
+        p.li(dst, u64(2 * (120 + sub * 40)));
+        p.add(dst, dst, buf);
+        p.slli(ncv, ncv, 1);
+        p.sub(ncv, dst, ncv);
+        p.forLoop(40, [&](SReg k) {
+            p.slli(t, k, 1);
+            p.add(hv, ncv, t);
+            p.load(hv, hv, 0, 2, true);
+            p.mul(hv, hv, qlb);
+            p.addi(hv, hv, 16384);
+            p.srai(hv, hv, 15);
+            p.add(e, erp, t);
+            p.load(e, e, s64(2 * (sub * 40)), 2, true);
+            p.add(e, e, hv);
+            if (p.brLt(hi, e))
+                p.mov(e, hi);
+            if (p.brLt(e, lo))
+                p.mov(e, lo);
+            p.add(t, dst, t);
+            p.store(e, t, 0, 2);
+        });
+    }
+    p.release(f);
+}
+
+namespace
+{
+
+/** Per-subframe scalar setup shared by both packed engines. */
+void
+ltpfiltPackedSetup(Program &p, SReg nc, SReg bc, unsigned sub, SReg ncv,
+                   SReg qlb, SReg dst, SReg buf, SReg erpp, SReg erp,
+                   SReg qbase)
+{
+    p.load(ncv, nc, s64(2 * sub), 2);
+    p.load(qlb, bc, s64(2 * sub), 2);
+    p.slli(qlb, qlb, 1);
+    p.add(qlb, qlb, qbase);
+    p.load(qlb, qlb, 0, 2);
+    p.li(dst, u64(2 * (120 + sub * 40)));
+    p.add(dst, dst, buf);
+    p.slli(ncv, ncv, 1);
+    p.sub(ncv, dst, ncv);
+    p.li(erpp, u64(2 * (sub * 40)));
+    p.add(erpp, erpp, erp);
+}
+
+} // namespace
+
+void
+ltpfiltMmx(Program &p, Mmx &m, SReg erp, SReg buf, SReg nc, SReg bc)
+{
+    auto f = p.mark();
+    unsigned w = m.width();
+    unsigned chunks = 80 / w;
+
+    u16 qtab[4];
+    for (unsigned i = 0; i < 4; ++i)
+        qtab[i] = u16(gsmQLB[i]);
+    Addr qaddr = stash(p, qtab, sizeof(qtab));
+    SReg qbase = p.sreg();
+    p.li(qbase, qaddr);
+
+    SReg ncv = p.sreg();
+    SReg qlb = p.sreg();
+    SReg dst = p.sreg();
+    SReg erpp = p.sreg();
+    VR mul = p.vreg();
+    VR bias = p.vreg();
+    VR h = p.vreg();
+    VR sgn = p.vreg();
+    VR lo32 = p.vreg();
+    VR hi32 = p.vreg();
+    VR e = p.vreg();
+    msplat32(p, m, bias, 16384);
+
+    for (unsigned sub = 0; sub < 3; ++sub) {
+        ltpfiltPackedSetup(p, nc, bc, sub, ncv, qlb, dst, buf, erpp, erp,
+                           qbase);
+        m.psplat(mul, qlb, ElemWidth::D32);
+        for (unsigned c = 0; c < chunks; ++c) {
+            s64 off = s64(c * w);
+            m.load(h, ncv, off);
+            // Sign-extend s16 -> s32 halves, multiply, round, shift.
+            m.psrai(sgn, h, 15, ElemWidth::W16);
+            m.unpckl(lo32, h, sgn, ElemWidth::W16);
+            m.unpckh(hi32, h, sgn, ElemWidth::W16);
+            m.pmull(lo32, lo32, mul, ElemWidth::D32);
+            m.pmull(hi32, hi32, mul, ElemWidth::D32);
+            m.padd(lo32, lo32, bias, ElemWidth::D32);
+            m.padd(hi32, hi32, bias, ElemWidth::D32);
+            m.psrai(lo32, lo32, 15, ElemWidth::D32);
+            m.psrai(hi32, hi32, 15, ElemWidth::D32);
+            m.packs(lo32, lo32, hi32, ElemWidth::D32);
+            m.load(e, erpp, off);
+            m.padds(e, e, lo32, ElemWidth::W16, true);
+            m.store(e, dst, off);
+        }
+    }
+    p.release(f);
+}
+
+void
+ltpfiltVmmx(Program &p, Vmmx &v, SReg erp, SReg buf, SReg nc, SReg bc)
+{
+    auto f = p.mark();
+    unsigned w = v.width();
+    u16 rows = u16(80 / w);
+    v.setvl(rows);
+
+    u16 qtab[4];
+    for (unsigned i = 0; i < 4; ++i)
+        qtab[i] = u16(gsmQLB[i]);
+    Addr qaddr = stash(p, qtab, sizeof(qtab));
+    SReg qbase = p.sreg();
+    p.li(qbase, qaddr);
+
+    SReg ncv = p.sreg();
+    SReg qlb = p.sreg();
+    SReg dst = p.sreg();
+    SReg erpp = p.sreg();
+    VR mul = p.vreg();
+    VR bias = p.vreg();
+    VR h = p.vreg();
+    VR sgn = p.vreg();
+    VR lo32 = p.vreg();
+    VR hi32 = p.vreg();
+    VR e = p.vreg();
+    vsplat32(p, v, bias, 16384);
+
+    for (unsigned sub = 0; sub < 3; ++sub) {
+        ltpfiltPackedSetup(p, nc, bc, sub, ncv, qlb, dst, buf, erpp, erp,
+                           qbase);
+        v.vsplat(mul, qlb, ElemWidth::D32);
+        v.loadU(h, ncv, 0);
+        v.psrai(sgn, h, 15, ElemWidth::W16);
+        v.unpckl(lo32, h, sgn, ElemWidth::W16);
+        v.unpckh(hi32, h, sgn, ElemWidth::W16);
+        v.pmull(lo32, lo32, mul, ElemWidth::D32);
+        v.pmull(hi32, hi32, mul, ElemWidth::D32);
+        v.padd(lo32, lo32, bias, ElemWidth::D32);
+        v.padd(hi32, hi32, bias, ElemWidth::D32);
+        v.psrai(lo32, lo32, 15, ElemWidth::D32);
+        v.psrai(hi32, hi32, 15, ElemWidth::D32);
+        v.packs(lo32, lo32, hi32, ElemWidth::D32);
+        v.loadU(e, erpp, 0);
+        v.padds(e, e, lo32, ElemWidth::W16, true);
+        v.storeU(e, dst, 0);
+    }
+    p.release(f);
+}
+
+} // namespace vmmx::kops

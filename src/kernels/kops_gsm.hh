@@ -1,0 +1,62 @@
+/**
+ * @file
+ * GSM 06.10 long-term-prediction kernels.
+ *
+ * ltppar (gsmenc): cross-correlate the current 40-sample residual
+ * against the 120-sample reconstructed history over lags 40..120, pick
+ * the lag with the maximum correlation and quantise the gain.  This is
+ * the encoder's dominant kernel; its 40-sample segments bound the
+ * vector length, which is why the paper sees almost no VMMX64->VMMX128
+ * gain here.
+ *
+ * ltpfilt (gsmdec): long-term synthesis filter, three 40-sample
+ * subframes: drp[k] = erp[k] + (QLB[bc] * drp[k - Nc] + 16384) >> 15.
+ */
+
+#ifndef VMMX_KERNELS_KOPS_GSM_HH
+#define VMMX_KERNELS_KOPS_GSM_HH
+
+#include "trace/mmx.hh"
+#include "trace/program.hh"
+#include "trace/vmmx.hh"
+
+namespace vmmx::kops
+{
+
+/** Gain quantiser thresholds / levels (GSM 06.10, Q15). */
+constexpr s32 gsmDLB[3] = {6554, 16384, 26214};
+constexpr s32 gsmQLB[4] = {3277, 11469, 21299, 32767};
+
+/**
+ * Golden ltppar.
+ * @param d 40 s16 residual samples
+ * @param hist 120 s16 history samples (hist[119] is the newest)
+ * @param outLag store best lag (u16)
+ * @param outBc store gain index (u16)
+ */
+void goldenLtppar(MemImage &mem, Addr d, Addr hist, Addr outLag,
+                  Addr outBc);
+
+void ltpparScalar(Program &p, SReg d, SReg hist, SReg outLag, SReg outBc);
+void ltpparMmx(Program &p, Mmx &m, SReg d, SReg hist, SReg outLag,
+               SReg outBc);
+void ltpparVmmx(Program &p, Vmmx &v, SReg d, SReg hist, SReg outLag,
+                SReg outBc);
+
+/**
+ * Golden ltpfilt over three subframes.
+ * @param erp 120 s16 excitation samples
+ * @param buf 240 s16: [0..119] history, [120..239] output (written)
+ * @param nc 3 u16 lags (40..120)
+ * @param bc 3 u16 gain indices (0..3)
+ */
+void goldenLtpfilt(MemImage &mem, Addr erp, Addr buf, Addr nc, Addr bc);
+
+void ltpfiltScalar(Program &p, SReg erp, SReg buf, SReg nc, SReg bc);
+void ltpfiltMmx(Program &p, Mmx &m, SReg erp, SReg buf, SReg nc, SReg bc);
+void ltpfiltVmmx(Program &p, Vmmx &v, SReg erp, SReg buf, SReg nc,
+                 SReg bc);
+
+} // namespace vmmx::kops
+
+#endif // VMMX_KERNELS_KOPS_GSM_HH

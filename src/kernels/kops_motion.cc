@@ -1,0 +1,263 @@
+#include "kernels/kops_motion.hh"
+
+namespace vmmx::kops
+{
+
+u64
+goldenSad(const MemImage &mem, Addr p1, Addr p2, unsigned h, unsigned lx)
+{
+    u64 s = 0;
+    for (unsigned j = 0; j < h; ++j) {
+        for (unsigned i = 0; i < 16; ++i) {
+            s32 v = s32(mem.read8(p1 + j * lx + i)) -
+                    s32(mem.read8(p2 + j * lx + i));
+            s += u64(v < 0 ? -v : v);
+        }
+    }
+    return s;
+}
+
+u64
+goldenSqd(const MemImage &mem, Addr p1, Addr p2, unsigned h, unsigned lx)
+{
+    u64 s = 0;
+    for (unsigned j = 0; j < h; ++j) {
+        for (unsigned i = 0; i < 16; ++i) {
+            s64 v = s64(mem.read8(p1 + j * lx + i)) -
+                    s64(mem.read8(p2 + j * lx + i));
+            s += u64(v * v);
+        }
+    }
+    return s;
+}
+
+void
+sadScalar(Program &p, SReg p1, SReg p2, unsigned h, unsigned lx, SReg out)
+{
+    auto f = p.mark();
+    SReg a = p.sreg();
+    SReg b = p.sreg();
+    SReg v = p.sreg();
+    SReg zero = p.sreg();
+    SReg c1 = p.sreg();
+    SReg c2 = p.sreg();
+    p.li(out, 0);
+    p.li(zero, 0);
+    p.mov(c1, p1);
+    p.mov(c2, p2);
+
+    // Paper Figure 3(a): two nested loops with an abs branch.
+    p.forLoop(h, [&](SReg) {
+        p.forLoop(16, [&](SReg i) {
+            SReg off = i;
+            p.add(a, c1, off);
+            p.load(v, a, 0, 1);
+            p.add(b, c2, off);
+            p.load(b, b, 0, 1);
+            p.sub(v, v, b);
+            if (p.brLt(v, zero)) {
+                p.sub(v, zero, v);
+            }
+            p.add(out, out, v);
+        });
+        p.addi(c1, c1, lx);
+        p.addi(c2, c2, lx);
+    });
+    p.release(f);
+}
+
+void
+sadMmx(Program &p, Mmx &m, SReg p1, SReg p2, unsigned h, unsigned lx,
+       SReg out)
+{
+    auto f = p.mark();
+    unsigned w = m.width();
+    SReg c1 = p.sreg();
+    SReg c2 = p.sreg();
+    p.mov(c1, p1);
+    p.mov(c2, p2);
+
+    VR acc = p.vreg();
+    VR r1 = p.vreg();
+    VR r2 = p.vreg();
+    m.pzero(acc);
+
+    if (w == 16) {
+        // Figure 3(d): one 16-byte load per row per image.
+        p.forLoop(h, [&](SReg) {
+            m.load(r1, c1, 0);
+            p.addi(c1, c1, lx);
+            m.load(r2, c2, 0);
+            p.addi(c2, c2, lx);
+            m.psad(r1, r1, r2);
+            m.padd(acc, acc, r1, ElemWidth::Q64);
+        });
+        SReg t = p.sreg();
+        m.psum(out, acc, ElemWidth::Q64, false);
+        (void)t;
+    } else {
+        // Figure 3(b): the 16-pixel row needs two 8-byte regions.
+        VR r3 = p.vreg();
+        VR r4 = p.vreg();
+        p.forLoop(h, [&](SReg) {
+            m.load(r1, c1, 0);
+            m.load(r2, c2, 0);
+            m.load(r3, c1, 8);
+            p.addi(c1, c1, lx);
+            m.load(r4, c2, 8);
+            p.addi(c2, c2, lx);
+            m.psad(r1, r1, r2);
+            m.psad(r3, r3, r4);
+            m.padd(acc, acc, r1, ElemWidth::Q64);
+            m.padd(acc, acc, r3, ElemWidth::Q64);
+        });
+        m.psum(out, acc, ElemWidth::Q64, false);
+    }
+    p.release(f);
+}
+
+void
+sadVmmx(Program &p, Vmmx &v, SReg p1, SReg p2, unsigned h, SReg lx,
+        SReg out)
+{
+    auto f = p.mark();
+    v.setvl(u16(h));
+    VR r1 = p.vreg();
+    VR r2 = p.vreg();
+    AR acc = p.areg();
+
+    if (v.width() == 16) {
+        // Figure 3(e): the whole h x 16 block in one matrix register.
+        v.accclr(acc);
+        v.load(r1, p1, 0, lx);
+        v.load(r2, p2, 0, lx);
+        v.vsada(acc, r1, r2);
+        v.accsum(out, acc);
+    } else {
+        // Figure 3(c): two h x 8 halves and two accumulators.
+        VR r3 = p.vreg();
+        VR r4 = p.vreg();
+        AR acc2 = p.areg();
+        SReg t = p.sreg();
+        v.accclr(acc);
+        v.accclr(acc2);
+        v.load(r1, p1, 0, lx);
+        v.load(r2, p2, 0, lx);
+        v.vsada(acc, r1, r2);
+        v.load(r3, p1, 8, lx);
+        v.load(r4, p2, 8, lx);
+        v.vsada(acc2, r3, r4);
+        v.accsum(out, acc);
+        v.accsum(t, acc2);
+        p.add(out, out, t);
+    }
+    p.release(f);
+}
+
+void
+sqdScalar(Program &p, SReg p1, SReg p2, unsigned h, unsigned lx, SReg out)
+{
+    auto f = p.mark();
+    SReg a = p.sreg();
+    SReg b = p.sreg();
+    SReg v = p.sreg();
+    SReg c1 = p.sreg();
+    SReg c2 = p.sreg();
+    p.li(out, 0);
+    p.mov(c1, p1);
+    p.mov(c2, p2);
+
+    p.forLoop(h, [&](SReg) {
+        p.forLoop(16, [&](SReg i) {
+            p.add(a, c1, i);
+            p.load(v, a, 0, 1);
+            p.add(b, c2, i);
+            p.load(b, b, 0, 1);
+            p.sub(v, v, b);
+            p.mul(v, v, v);
+            p.add(out, out, v);
+        });
+        p.addi(c1, c1, lx);
+        p.addi(c2, c2, lx);
+    });
+    p.release(f);
+}
+
+void
+sqdMmx(Program &p, Mmx &m, SReg p1, SReg p2, unsigned h, unsigned lx,
+       SReg out)
+{
+    auto f = p.mark();
+    unsigned w = m.width();
+    unsigned chunks = 16 / w; // 2 for MMX64, 1 for MMX128
+    SReg c1 = p.sreg();
+    SReg c2 = p.sreg();
+    p.mov(c1, p1);
+    p.mov(c2, p2);
+
+    VR acc = p.vreg();
+    VR z = p.vreg();
+    VR r1 = p.vreg();
+    VR r2 = p.vreg();
+    VR dlo = p.vreg();
+    VR dhi = p.vreg();
+    m.pzero(acc);
+    m.pzero(z);
+
+    p.forLoop(h, [&](SReg) {
+        for (unsigned c = 0; c < chunks; ++c) {
+            m.load(r1, c1, s64(c * w));
+            m.load(r2, c2, s64(c * w));
+            // |a - b| as unsigned bytes: max - min.
+            m.pmin(dlo, r1, r2, ElemWidth::B8, false);
+            m.pmax(dhi, r1, r2, ElemWidth::B8, false);
+            m.psub(dhi, dhi, dlo, ElemWidth::B8);
+            // Widen to 16 bits and square-accumulate (pmaddwd).
+            m.unpckl(dlo, dhi, z, ElemWidth::B8);
+            m.unpckh(dhi, dhi, z, ElemWidth::B8);
+            m.pmadd(dlo, dlo, dlo);
+            m.pmadd(dhi, dhi, dhi);
+            m.padd(acc, acc, dlo, ElemWidth::D32);
+            m.padd(acc, acc, dhi, ElemWidth::D32);
+        }
+        p.addi(c1, c1, lx);
+        p.addi(c2, c2, lx);
+    });
+    m.psum(out, acc, ElemWidth::D32, false);
+    p.release(f);
+}
+
+void
+sqdVmmx(Program &p, Vmmx &v, SReg p1, SReg p2, unsigned h, SReg lx,
+        SReg out)
+{
+    auto f = p.mark();
+    unsigned w = v.width();
+    unsigned chunks = 16 / w;
+    v.setvl(u16(h));
+
+    VR r1 = p.vreg();
+    VR r2 = p.vreg();
+    VR z = p.vreg();
+    VR dlo = p.vreg();
+    VR dhi = p.vreg();
+    AR acc = p.areg();
+    v.vzero(z);
+    v.accclr(acc);
+
+    for (unsigned c = 0; c < chunks; ++c) {
+        v.load(r1, p1, s64(c * w), lx);
+        v.load(r2, p2, s64(c * w), lx);
+        v.pmin(dlo, r1, r2, ElemWidth::B8, false);
+        v.pmax(dhi, r1, r2, ElemWidth::B8, false);
+        v.psub(dhi, dhi, dlo, ElemWidth::B8);
+        v.unpckl(dlo, dhi, z, ElemWidth::B8);
+        v.unpckh(dhi, dhi, z, ElemWidth::B8);
+        v.vmacc(acc, dlo, dlo);
+        v.vmacc(acc, dhi, dhi);
+    }
+    v.accsum(out, acc);
+    p.release(f);
+}
+
+} // namespace vmmx::kops

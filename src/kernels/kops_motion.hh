@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Motion-estimation emission primitives: Sum of Absolute Differences
+ * (motion1 / paper Figure 3) and Sum of Quadratic Differences (motion2)
+ * between two 16-column pixel blocks with a row stride.
+ *
+ * These follow the paper's code shapes: the MMX versions keep the row
+ * loop and split the 16-pixel row into full-register chunks; the VMMX
+ * versions eliminate both loops with strided matrix loads and packed-
+ * accumulator reductions.
+ */
+
+#ifndef VMMX_KERNELS_KOPS_MOTION_HH
+#define VMMX_KERNELS_KOPS_MOTION_HH
+
+#include "trace/mmx.hh"
+#include "trace/program.hh"
+#include "trace/vmmx.hh"
+
+namespace vmmx::kops
+{
+
+/** Golden SAD of two h x 16 u8 blocks with row stride lx. */
+u64 goldenSad(const MemImage &mem, Addr p1, Addr p2, unsigned h,
+              unsigned lx);
+
+/** Golden SQD (sum of squared differences). */
+u64 goldenSqd(const MemImage &mem, Addr p1, Addr p2, unsigned h,
+              unsigned lx);
+
+/** Scalar-ISA SAD; result value left in @p out. */
+void sadScalar(Program &p, SReg p1, SReg p2, unsigned h, unsigned lx,
+               SReg out);
+
+/** Packed 1-D SAD (MMX64 splits rows in two; MMX128 one load per row). */
+void sadMmx(Program &p, Mmx &m, SReg p1, SReg p2, unsigned h, unsigned lx,
+            SReg out);
+
+/** Matrix SAD: strided loads + packed-accumulator reduction. */
+void sadVmmx(Program &p, Vmmx &v, SReg p1, SReg p2, unsigned h, SReg lx,
+             SReg out);
+
+void sqdScalar(Program &p, SReg p1, SReg p2, unsigned h, unsigned lx,
+               SReg out);
+void sqdMmx(Program &p, Mmx &m, SReg p1, SReg p2, unsigned h, unsigned lx,
+            SReg out);
+void sqdVmmx(Program &p, Vmmx &v, SReg p1, SReg p2, unsigned h, SReg lx,
+             SReg out);
+
+} // namespace vmmx::kops
+
+#endif // VMMX_KERNELS_KOPS_MOTION_HH

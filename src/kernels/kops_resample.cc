@@ -1,0 +1,301 @@
+#include "kernels/kops_resample.hh"
+
+#include "kernels/kops_util.hh"
+
+namespace vmmx::kops
+{
+
+void
+goldenH2v2(MemImage &mem, Addr src, unsigned srcPitch, Addr dst,
+           unsigned dstPitch, unsigned W, unsigned H)
+{
+    auto at = [&](int r, int c) -> s32 {
+        return mem.read8(src + Addr(r) * srcPitch + Addr(c));
+    };
+    for (unsigned r = 0; r < H; ++r) {
+        for (unsigned c = 0; c < W; ++c) {
+            s32 vm[2]; // vertically filtered: [adj=r-1, adj=r+1]
+            s32 v0[2];
+            s32 vp[2];
+            for (int ph = 0; ph < 2; ++ph) {
+                int ar = ph == 0 ? int(r) - 1 : int(r) + 1;
+                vm[ph] = 3 * at(r, int(c) - 1) + at(ar, int(c) - 1);
+                v0[ph] = 3 * at(r, c) + at(ar, c);
+                vp[ph] = 3 * at(r, int(c) + 1) + at(ar, int(c) + 1);
+            }
+            for (int ph = 0; ph < 2; ++ph) {
+                Addr row = dst + Addr(2 * r + ph) * dstPitch;
+                mem.write8(row + 2 * c, u8((3 * v0[ph] + vm[ph] + 8) >> 4));
+                mem.write8(row + 2 * c + 1,
+                           u8((3 * v0[ph] + vp[ph] + 7) >> 4));
+            }
+        }
+    }
+}
+
+void
+h2v2Scalar(Program &p, SReg src, unsigned srcPitch, SReg dst,
+           unsigned dstPitch, unsigned W, unsigned H)
+{
+    auto f = p.mark();
+    SReg cur = p.sreg();
+    SReg adj = p.sreg();
+    SReg orow = p.sreg();
+    SReg a = p.sreg();
+    SReg b = p.sreg();
+    SReg v0 = p.sreg();
+    SReg vn = p.sreg();
+    SReg t = p.sreg();
+
+    p.forLoop(H, [&](SReg r) {
+        // cur = src + r * srcPitch
+        p.muli(cur, r, srcPitch);
+        p.add(cur, cur, src);
+        for (int ph = 0; ph < 2; ++ph) {
+            p.addi(adj, cur, ph == 0 ? -s64(srcPitch) : s64(srcPitch));
+            p.slli(orow, r, 1);
+            p.addi(orow, orow, ph);
+            p.muli(orow, orow, dstPitch);
+            p.add(orow, orow, dst);
+            p.forLoop(W, [&](SReg c) {
+                // v0 = 3*cur[c] + adj[c]
+                p.add(t, cur, c);
+                p.load(a, t, 0, 1);
+                p.add(t, adj, c);
+                p.load(b, t, 0, 1);
+                p.slli(v0, a, 1);
+                p.add(v0, v0, a);
+                p.add(v0, v0, b);
+                // vm = 3*cur[c-1] + adj[c-1]
+                p.add(t, cur, c);
+                p.load(a, t, -1, 1);
+                p.add(t, adj, c);
+                p.load(b, t, -1, 1);
+                p.slli(vn, a, 1);
+                p.add(vn, vn, a);
+                p.add(vn, vn, b);
+                // even output
+                p.slli(a, v0, 1);
+                p.add(a, a, v0);
+                p.add(a, a, vn);
+                p.addi(a, a, 8);
+                p.srli(a, a, 4);
+                p.slli(t, c, 1);
+                p.add(t, t, orow);
+                p.store(a, t, 0, 1);
+                // vp = 3*cur[c+1] + adj[c+1]
+                p.add(t, cur, c);
+                p.load(a, t, 1, 1);
+                p.add(t, adj, c);
+                p.load(b, t, 1, 1);
+                p.slli(vn, a, 1);
+                p.add(vn, vn, a);
+                p.add(vn, vn, b);
+                // odd output
+                p.slli(a, v0, 1);
+                p.add(a, a, v0);
+                p.add(a, a, vn);
+                p.addi(a, a, 7);
+                p.srli(a, a, 4);
+                p.slli(t, c, 1);
+                p.add(t, t, orow);
+                p.store(a, t, 1, 1);
+            });
+        }
+    });
+    p.release(f);
+}
+
+namespace
+{
+
+/**
+ * Shared packed recipe: both engines expose identical arithmetic method
+ * names; the adapter supplies memory ops.  Processes one w-pixel chunk
+ * of one (row-block, phase) at a time.
+ */
+template <typename E, typename Ad>
+void
+h2v2PackedChunk(Program &p, E &e, Ad &ad, VR z, VR b8, VR b7, VR c16,
+                VR a16, VR v0, VR vn, VR e16, VR o16, VR t, unsigned half)
+{
+    auto widen = [&](VR d, VR src8) {
+        if (half == 0)
+            e.unpckl(d, src8, z, ElemWidth::B8);
+        else
+            e.unpckh(d, src8, z, ElemWidth::B8);
+    };
+    auto vfilter = [&](VR d, s64 off) {
+        ad.loadCur(c16, off);
+        ad.loadAdj(a16, off);
+        widen(t, c16);
+        widen(d, a16);
+        e.padd(d, d, t, ElemWidth::W16);
+        e.padd(t, t, t, ElemWidth::W16);
+        e.padd(d, d, t, ElemWidth::W16);
+    };
+
+    vfilter(v0, 0);
+
+    // even = (3 v0 + v(-1) + 8) >> 4
+    vfilter(vn, -1);
+    e.padd(e16, v0, v0, ElemWidth::W16);
+    e.padd(e16, e16, v0, ElemWidth::W16);
+    e.padd(e16, e16, vn, ElemWidth::W16);
+    e.padd(e16, e16, b8, ElemWidth::W16);
+    e.psrli(e16, e16, 4, ElemWidth::W16);
+
+    // odd = (3 v0 + v(+1) + 7) >> 4
+    vfilter(vn, 1);
+    e.padd(o16, v0, v0, ElemWidth::W16);
+    e.padd(o16, o16, v0, ElemWidth::W16);
+    e.padd(o16, o16, vn, ElemWidth::W16);
+    e.padd(o16, o16, b7, ElemWidth::W16);
+    e.psrli(o16, o16, 4, ElemWidth::W16);
+
+    // Interleave and narrow: bytes [e0 o0 e1 o1 ...].
+    e.unpckl(t, e16, o16, ElemWidth::W16);
+    e.unpckh(vn, e16, o16, ElemWidth::W16);
+    e.packus(t, t, vn, ElemWidth::W16);
+    ad.storeOut(t, half);
+}
+
+} // namespace
+
+void
+h2v2Mmx(Program &p, Mmx &m, SReg src, unsigned srcPitch, SReg dst,
+        unsigned dstPitch, unsigned W, unsigned H)
+{
+    auto f = p.mark();
+    unsigned w = m.width();
+    vmmx_assert(W % w == 0, "width must be a chunk multiple");
+
+    VR z = p.vreg();
+    VR b8 = p.vreg();
+    VR b7 = p.vreg();
+    m.pzero(z);
+    msplat16(p, m, b8, 8);
+    msplat16(p, m, b7, 7);
+    VR c16 = p.vreg();
+    VR a16 = p.vreg();
+    VR v0 = p.vreg();
+    VR vn = p.vreg();
+    VR e16 = p.vreg();
+    VR o16 = p.vreg();
+    VR t = p.vreg();
+
+    SReg cur = p.sreg();
+    SReg adj = p.sreg();
+    SReg orow = p.sreg();
+
+    struct Ad
+    {
+        Program &p;
+        Mmx &m;
+        SReg cur, adj, orow;
+        s64 chunkOff = 0;
+        unsigned w;
+        void loadCur(VR d, s64 off) { m.load(d, cur, chunkOff + off); }
+        void loadAdj(VR d, s64 off) { m.load(d, adj, chunkOff + off); }
+        void
+        storeOut(VR s, unsigned half)
+        {
+            m.store(s, orow, 2 * chunkOff + s64(half * w));
+        }
+    };
+    Ad ad{p, m, cur, adj, orow, 0, w};
+
+    p.forLoop(H, [&](SReg r) {
+        p.muli(cur, r, srcPitch);
+        p.add(cur, cur, src);
+        for (int ph = 0; ph < 2; ++ph) {
+            p.addi(adj, cur, ph == 0 ? -s64(srcPitch) : s64(srcPitch));
+            p.slli(orow, r, 1);
+            p.addi(orow, orow, ph);
+            p.muli(orow, orow, dstPitch);
+            p.add(orow, orow, dst);
+            for (unsigned c0 = 0; c0 < W; c0 += w) {
+                ad.chunkOff = s64(c0);
+                for (unsigned half = 0; half < 2; ++half) {
+                    h2v2PackedChunk(p, m, ad, z, b8, b7, c16, a16, v0, vn,
+                                    e16, o16, t, half);
+                }
+            }
+        }
+    });
+    p.release(f);
+}
+
+void
+h2v2Vmmx(Program &p, Vmmx &v, SReg src, unsigned srcPitch, SReg dst,
+         unsigned dstPitch, unsigned W, unsigned H)
+{
+    auto f = p.mark();
+    unsigned w = v.width();
+    vmmx_assert(W % w == 0 && H % 16 == 0, "geometry must tile");
+
+    v.setvl(16);
+
+    VR z = p.vreg();
+    VR b8 = p.vreg();
+    VR b7 = p.vreg();
+    v.vzero(z);
+    vsplat16(p, v, b8, 8);
+    vsplat16(p, v, b7, 7);
+    VR c16 = p.vreg();
+    VR a16 = p.vreg();
+    VR v0 = p.vreg();
+    VR vn = p.vreg();
+    VR e16 = p.vreg();
+    VR o16 = p.vreg();
+    VR t = p.vreg();
+
+    SReg cur = p.sreg();
+    SReg adj = p.sreg();
+    SReg orow = p.sreg();
+    SReg spitch = p.sreg();
+    SReg dpitch2 = p.sreg();
+    p.li(spitch, srcPitch);
+    p.li(dpitch2, 2 * dstPitch);
+
+    struct Ad
+    {
+        Program &p;
+        Vmmx &v;
+        SReg cur, adj, orow, spitch, dpitch2;
+        s64 chunkOff = 0;
+        unsigned w;
+        void loadCur(VR d, s64 off) { v.load(d, cur, chunkOff + off, spitch); }
+        void loadAdj(VR d, s64 off) { v.load(d, adj, chunkOff + off, spitch); }
+        void
+        storeOut(VR s, unsigned half)
+        {
+            // 16 rows, each two output rows apart.
+            v.store(s, orow, 2 * chunkOff + s64(half * w), dpitch2);
+        }
+    };
+    Ad ad{p, v, cur, adj, orow, spitch, dpitch2, 0, w};
+
+    // 16 input rows per sweep.
+    p.forLoop(H / 16, [&](SReg rb) {
+        p.muli(cur, rb, 16 * srcPitch);
+        p.add(cur, cur, src);
+        for (int ph = 0; ph < 2; ++ph) {
+            p.addi(adj, cur, ph == 0 ? -s64(srcPitch) : s64(srcPitch));
+            p.muli(orow, rb, s64(32) * dstPitch);
+            p.add(orow, orow, dst);
+            if (ph == 1)
+                p.addi(orow, orow, dstPitch);
+            for (unsigned c0 = 0; c0 < W; c0 += w) {
+                ad.chunkOff = s64(c0);
+                for (unsigned half = 0; half < 2; ++half) {
+                    h2v2PackedChunk(p, v, ad, z, b8, b7, c16, a16, v0, vn,
+                                    e16, o16, t, half);
+                }
+            }
+        }
+    });
+    p.release(f);
+}
+
+} // namespace vmmx::kops

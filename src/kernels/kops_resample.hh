@@ -1,0 +1,42 @@
+/**
+ * @file
+ * h2v2 "fancy" chroma up-sampling (jpegdec): triangle-filtered 2x
+ * doubling in both dimensions.
+ *
+ *   out[2r][2c]   = (9 in[r][c] + 3 in[r][c-1] + 3 in[r-1][c]
+ *                    + in[r-1][c-1] + 8) >> 4
+ * (and the mirrored phases for the other three output pixels).
+ *
+ * The caller provides a source image with a 1-pixel replicated border so
+ * every flavour runs the identical border-free inner code.
+ */
+
+#ifndef VMMX_KERNELS_KOPS_RESAMPLE_HH
+#define VMMX_KERNELS_KOPS_RESAMPLE_HH
+
+#include "trace/mmx.hh"
+#include "trace/program.hh"
+#include "trace/vmmx.hh"
+
+namespace vmmx::kops
+{
+
+/**
+ * Golden reference.
+ * @param src interior origin of a (W+2) x (H+2) padded image
+ * @param srcPitch bytes per padded source row
+ * @param dst 2W x 2H output, @p dstPitch bytes per row
+ */
+void goldenH2v2(MemImage &mem, Addr src, unsigned srcPitch, Addr dst,
+                unsigned dstPitch, unsigned W, unsigned H);
+
+void h2v2Scalar(Program &p, SReg src, unsigned srcPitch, SReg dst,
+                unsigned dstPitch, unsigned W, unsigned H);
+void h2v2Mmx(Program &p, Mmx &m, SReg src, unsigned srcPitch, SReg dst,
+             unsigned dstPitch, unsigned W, unsigned H);
+void h2v2Vmmx(Program &p, Vmmx &v, SReg src, unsigned srcPitch, SReg dst,
+              unsigned dstPitch, unsigned W, unsigned H);
+
+} // namespace vmmx::kops
+
+#endif // VMMX_KERNELS_KOPS_RESAMPLE_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared helpers for kernel emission: constant pools (packed constants
+ * are loaded from memory, as compiled SIMD code does) and widening
+ * idioms.
+ */
+
+#ifndef VMMX_KERNELS_KOPS_UTIL_HH
+#define VMMX_KERNELS_KOPS_UTIL_HH
+
+#include <array>
+
+#include "trace/mmx.hh"
+#include "trace/program.hh"
+#include "trace/vmmx.hh"
+
+namespace vmmx::kops
+{
+
+/** Copy @p n bytes into a fresh constant-pool allocation. */
+inline Addr
+stash(Program &p, const void *data, size_t n)
+{
+    Addr a = p.mem().alloc(n, 16);
+    p.mem().copyIn(a, data, n);
+    return a;
+}
+
+/** Load a full-width packed constant built from up to 8 s16 values
+ *  (repeated across the 128-bit upper half so both widths agree). */
+inline void
+mconst16(Program &p, Mmx &m, VR dst, const std::array<s16, 8> &v)
+{
+    std::array<s16, 8> buf = v;
+    Addr a = stash(p, buf.data(), sizeof(buf));
+    auto f = p.mark();
+    SReg t = p.sreg();
+    p.li(t, a);
+    m.load(dst, t, 0);
+    p.release(f);
+}
+
+/** Load a full-width packed constant from two 64-bit lane patterns. */
+inline void
+mconst64(Program &p, Mmx &m, VR dst, u64 lo, u64 hi)
+{
+    u64 buf[2] = {lo, hi};
+    Addr a = stash(p, buf, sizeof(buf));
+    auto f = p.mark();
+    SReg t = p.sreg();
+    p.li(t, a);
+    m.load(dst, t, 0);
+    p.release(f);
+}
+
+/** Splat a 16-bit immediate (li + psplat). */
+inline void
+msplat16(Program &p, Mmx &m, VR dst, s16 v)
+{
+    auto f = p.mark();
+    SReg t = p.sreg();
+    p.li(t, u64(u16(v)));
+    m.psplat(dst, t, ElemWidth::W16);
+    p.release(f);
+}
+
+/** Splat a 32-bit immediate. */
+inline void
+msplat32(Program &p, Mmx &m, VR dst, s32 v)
+{
+    auto f = p.mark();
+    SReg t = p.sreg();
+    p.li(t, u64(u32(v)));
+    m.psplat(dst, t, ElemWidth::D32);
+    p.release(f);
+}
+
+inline void
+vsplat16(Program &p, Vmmx &v, VR dst, s16 value)
+{
+    auto f = p.mark();
+    SReg t = p.sreg();
+    p.li(t, u64(u16(value)));
+    v.vsplat(dst, t, ElemWidth::W16);
+    p.release(f);
+}
+
+inline void
+vsplat32(Program &p, Vmmx &v, VR dst, s32 value)
+{
+    auto f = p.mark();
+    SReg t = p.sreg();
+    p.li(t, u64(u32(value)));
+    v.vsplat(dst, t, ElemWidth::D32);
+    p.release(f);
+}
+
+} // namespace vmmx::kops
+
+#endif // VMMX_KERNELS_KOPS_UTIL_HH

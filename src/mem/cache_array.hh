@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tag/state array of one cache level: set-associative with true-LRU
+ * replacement, valid + dirty bits.  Purely a state model -- timing lives
+ * in MemorySystem, and data lives in the functional MemImage.
+ */
+
+#ifndef VMMX_MEM_CACHE_ARRAY_HH
+#define VMMX_MEM_CACHE_ARRAY_HH
+
+#include <vector>
+
+#include "mem/params.hh"
+
+namespace vmmx
+{
+
+class CacheArray
+{
+  public:
+    explicit CacheArray(const CacheParams &params);
+
+    /** Result of inserting a line. */
+    struct FillResult
+    {
+        bool evicted = false;
+        Addr evictedLine = 0; ///< line-aligned address
+        bool evictedDirty = false;
+    };
+
+    /** @return true when the line holding @p addr is present. */
+    bool probe(Addr addr) const;
+
+    /** Mark the line as most recently used.  Line must be present. */
+    void touch(Addr addr);
+
+    /** Insert the line holding @p addr, evicting the LRU way if needed. */
+    FillResult fill(Addr addr, bool dirty = false);
+
+    /** Drop the line if present; @return true when it was present. */
+    bool invalidate(Addr addr);
+
+    /** @return true when present and dirty. */
+    bool isDirty(Addr addr) const;
+
+    /** Mark an existing line dirty (store hit). Line must be present. */
+    void setDirty(Addr addr);
+
+    /** Mark an existing line clean (after writeback). */
+    void clean(Addr addr);
+
+    /** Drop everything (used between benchmark repetitions). */
+    void flush();
+
+    /** Line-aligned base of the line containing @p addr. */
+    Addr lineAddr(Addr addr) const { return addr & ~Addr(lineMask_); }
+
+    u32 lineBytes() const { return params_.lineBytes; }
+
+    /** Bank servicing @p addr (line-interleaved). */
+    u32
+    bank(Addr addr) const
+    {
+        return u32((addr / params_.lineBytes) % params_.banks);
+    }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        u64 lruStamp = 0;
+    };
+
+    const Line *find(Addr addr) const;
+    Line *find(Addr addr);
+
+    CacheParams params_;
+    u32 lineMask_;
+    u32 numSets_;
+    std::vector<Line> lines_; // numSets_ x assoc
+    u64 stamp_ = 0;
+};
+
+} // namespace vmmx
+
+#endif // VMMX_MEM_CACHE_ARRAY_HH

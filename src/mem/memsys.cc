@@ -1,0 +1,249 @@
+#include "mem/memsys.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vmmx
+{
+
+MemorySystem::MemorySystem(const MemParams &params)
+    : params_(params),
+      l1_(params.l1),
+      l2_(params.l2),
+      l1PortFree_(params.l1Ports, 0),
+      l1BankFree_(params.l1.banks, 0),
+      stats_("mem"),
+      l1Hits_(&stats_, "l1_hits", "L1 data cache hits"),
+      l1Misses_(&stats_, "l1_misses", "L1 data cache misses"),
+      l2Hits_(&stats_, "l2_hits", "L2 hits (scalar fills + vector)"),
+      l2Misses_(&stats_, "l2_misses", "L2 misses to main memory"),
+      vecAccesses_(&stats_, "vec_accesses", "matrix accesses via L2 port"),
+      vecStride1_(&stats_, "vec_stride1", "stride-one matrix accesses"),
+      vecElems_(&stats_, "vec_elems", "64-bit elements moved by vector port"),
+      cohInval_(&stats_, "coh_invalidations",
+                "L1 lines invalidated by vector accesses"),
+      cohWritebacks_(&stats_, "coh_writebacks",
+                     "L1 dirty lines flushed to L2 by vector accesses"),
+      l1Writebacks_(&stats_, "l1_writebacks", "L1 dirty evictions")
+{
+    vmmx_assert(params_.l1Ports > 0, "need at least one L1 port");
+    vmmx_assert(params_.vecPortBytes >= 8, "vector port below 64 bits");
+}
+
+void
+MemorySystem::reset()
+{
+    l1_.flush();
+    l2_.flush();
+    std::fill(l1PortFree_.begin(), l1PortFree_.end(), 0);
+    std::fill(l1BankFree_.begin(), l1BankFree_.end(), 0);
+    vecPortFree_ = 0;
+    mshr_.clear();
+    stats_.resetAll();
+}
+
+Cycle
+MemorySystem::l2Lookup(Addr lineAddr, bool isWrite, Cycle when)
+{
+    // An outstanding miss to the same line is merged (MSHR hit).
+    auto it = mshr_.find(lineAddr);
+    if (it != mshr_.end()) {
+        if (it->second > when) {
+            if (isWrite)
+                l2_.fill(lineAddr, true);
+            return it->second;
+        }
+        mshr_.erase(it); // fill completed; retire the entry
+    }
+
+    if (l2_.probe(lineAddr)) {
+        ++l2Hits_;
+        l2_.touch(lineAddr);
+        if (isWrite)
+            l2_.setDirty(lineAddr);
+        return when + params_.l2.latency;
+    }
+
+    ++l2Misses_;
+    // Retire MSHR entries whose fills have completed.
+    for (auto e = mshr_.begin(); e != mshr_.end();) {
+        if (e->second <= when)
+            e = mshr_.erase(e);
+        else
+            ++e;
+    }
+    // MSHR capacity: with all entries busy the request waits for the
+    // earliest outstanding fill.
+    Cycle start = when;
+    while (mshr_.size() >= params_.mshrs) {
+        auto oldest = std::min_element(
+            mshr_.begin(), mshr_.end(),
+            [](const auto &a, const auto &b) { return a.second < b.second; });
+        start = std::max(start, oldest->second);
+        mshr_.erase(oldest);
+    }
+
+    Cycle ready = start + params_.l2.latency + params_.memLatency;
+    mshr_[lineAddr] = ready;
+    auto ev = l2_.fill(lineAddr, isWrite);
+    if (ev.evicted) {
+        // Inclusion: an L2 eviction must also leave the L1.
+        if (l1_.invalidate(ev.evictedLine))
+            ++cohInval_;
+    }
+    return ready;
+}
+
+Cycle
+MemorySystem::reserveL1(Addr addr, u32 bytes, Cycle when)
+{
+    u32 portCycles = std::max<u32>(
+        1, (bytes + params_.l1PortBytes - 1) / params_.l1PortBytes);
+
+    // Earliest-free port.
+    auto port = std::min_element(l1PortFree_.begin(), l1PortFree_.end());
+    u32 bank = l1_.bank(addr);
+    Cycle start = std::max({when, *port, l1BankFree_[bank]});
+    *port = start + portCycles;
+    l1BankFree_[bank] = start + portCycles;
+    return start;
+}
+
+Cycle
+MemorySystem::scalarAccess(Addr addr, u32 bytes, bool isWrite, Cycle when)
+{
+    vmmx_assert(bytes >= 1 && bytes <= 16, "scalar access size %u", bytes);
+
+    Cycle start = reserveL1(addr, bytes, when);
+    Addr line = l1_.lineAddr(addr);
+    // An access that straddles two lines pays a second (sequential) probe;
+    // media code keeps data aligned so this is rare.
+    bool straddles = l1_.lineAddr(addr + bytes - 1) != line;
+
+    Cycle done;
+    if (l1_.probe(line)) {
+        ++l1Hits_;
+        l1_.touch(line);
+        if (isWrite)
+            l1_.setDirty(line);
+        done = start + params_.l1.latency;
+    } else {
+        ++l1Misses_;
+        Cycle l2Ready = l2Lookup(line, false, start + params_.l1.latency);
+        // Fill the L1 (inclusion holds: the line is now in both levels).
+        Cycle fill =
+            l2Ready + params_.l1.lineBytes / std::max<u32>(
+                          1, params_.l2FillBytes);
+        auto ev = l1_.fill(line, isWrite);
+        if (ev.evicted && ev.evictedDirty) {
+            ++l1Writebacks_;
+            l2_.fill(ev.evictedLine, true);
+        }
+        if (isWrite)
+            l1_.setDirty(line);
+        done = fill;
+    }
+
+    if (straddles) {
+        Addr line2 = line + l1_.lineBytes();
+        if (l1_.probe(line2)) {
+            ++l1Hits_;
+            l1_.touch(line2);
+            if (isWrite)
+                l1_.setDirty(line2);
+            done = std::max(done, start + params_.l1.latency + 1);
+        } else {
+            ++l1Misses_;
+            Cycle l2Ready =
+                l2Lookup(line2, false, start + params_.l1.latency + 1);
+            auto ev = l1_.fill(line2, isWrite);
+            if (ev.evicted && ev.evictedDirty) {
+                ++l1Writebacks_;
+                l2_.fill(ev.evictedLine, true);
+            }
+            done = std::max(done, l2Ready);
+        }
+    }
+
+    // Stores retire into the store buffer as soon as the line is owned.
+    return done;
+}
+
+Cycle
+MemorySystem::vectorAccess(Addr addr, u32 rowBytes, s32 stride, u16 vl,
+                           bool isWrite, Cycle when)
+{
+    vmmx_assert(vl >= 1 && vl <= 16, "vector length %u", vl);
+    vmmx_assert(rowBytes == 8 || rowBytes == 16, "row bytes %u", rowBytes);
+
+    ++vecAccesses_;
+    bool unit = stride == s32(rowBytes);
+    if (unit)
+        ++vecStride1_;
+    vecElems_ += u64(vl) * (rowBytes / 8);
+
+    // Walk the touched lines: L2 state update + coherence with the L1.
+    Cycle dataReady = when;
+    Addr prevLine = ~Addr(0);
+    for (u16 r = 0; r < vl; ++r) {
+        Addr rowAddr = addr + Addr(s64(stride) * r);
+        for (Addr a = rowAddr; a < rowAddr + rowBytes;
+             a += params_.l2.lineBytes) {
+            Addr line = l2_.lineAddr(a);
+            if (line == prevLine)
+                continue;
+            prevLine = line;
+
+            // Exclusive-bit coherence: the vector unit takes ownership of
+            // the line; any L1 copy is flushed (if dirty) and dropped.
+            if (l1_.probe(line)) {
+                if (l1_.isDirty(line)) {
+                    ++cohWritebacks_;
+                    l2_.fill(line, true);
+                }
+                l1_.invalidate(line);
+                ++cohInval_;
+            }
+
+            Cycle ready = l2Lookup(line, isWrite, when);
+            dataReady = std::max(dataReady, ready);
+        }
+        // Cover the tail of a row that spans a line boundary.
+        Addr lastLine = l2_.lineAddr(rowAddr + rowBytes - 1);
+        if (lastLine != prevLine) {
+            if (l1_.probe(lastLine)) {
+                if (l1_.isDirty(lastLine)) {
+                    ++cohWritebacks_;
+                    l2_.fill(lastLine, true);
+                }
+                l1_.invalidate(lastLine);
+                ++cohInval_;
+            }
+            Cycle ready = l2Lookup(lastLine, isWrite, when);
+            dataReady = std::max(dataReady, ready);
+            prevLine = lastLine;
+        }
+    }
+
+    // Transfer time through the vector port.
+    u64 totalBytes = u64(rowBytes) * vl;
+    Cycle xfer;
+    if (unit) {
+        xfer = (totalBytes + params_.vecPortBytes - 1) / params_.vecPortBytes;
+    } else {
+        // One 64-bit element per cycle for any other stride.
+        xfer = (totalBytes + params_.vecStridedBytes - 1) /
+               params_.vecStridedBytes;
+    }
+    xfer = std::max<Cycle>(xfer, 1);
+
+    // The port is held only while data moves; miss latency overlaps with
+    // other requests (decoupled fetch).
+    Cycle xferStart = std::max(dataReady, vecPortFree_);
+    Cycle done = xferStart + xfer;
+    vecPortFree_ = done;
+    return done;
+}
+
+} // namespace vmmx

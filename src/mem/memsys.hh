@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Timing model of the two-level memory hierarchy with the vector-cache
+ * path (paper section III-D).
+ *
+ * Scalar and 1-D packed accesses go through the banked L1 (8-byte ports;
+ * a 128-bit MMX access occupies a port for two cycles).  Matrix (vector)
+ * accesses bypass the L1 and stream from the L2 through a dedicated
+ * vector port: stride-one requests transfer vecPortBytes per cycle by
+ * reading two whole interleaved lines; other strides transfer one 64-bit
+ * element per cycle.  Coherence follows an exclusive-bit + inclusion
+ * policy: a vector access to a line present in the L1 forces a writeback
+ * (if dirty) and invalidation, so at most one cache level owns a line for
+ * writing at any time.
+ *
+ * The model is timing-only: functional data lives in the MemImage used at
+ * trace-generation time.
+ */
+
+#ifndef VMMX_MEM_MEMSYS_HH
+#define VMMX_MEM_MEMSYS_HH
+
+#include <map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "mem/cache_array.hh"
+#include "mem/params.hh"
+
+namespace vmmx
+{
+
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemParams &params);
+
+    /**
+     * Issue a scalar or 1-D packed access.
+     * @param addr resolved effective address
+     * @param bytes access size (1..16)
+     * @param isWrite store when true
+     * @param when earliest cycle the access can start (issue cycle)
+     * @return cycle at which the value is available (loads) or the access
+     *         is accepted (stores).
+     */
+    Cycle scalarAccess(Addr addr, u32 bytes, bool isWrite, Cycle when);
+
+    /**
+     * Issue a matrix (vector) access of @p vl rows of @p rowBytes each,
+     * @p stride bytes apart, through the L2 vector port.
+     */
+    Cycle vectorAccess(Addr addr, u32 rowBytes, s32 stride, u16 vl,
+                       bool isWrite, Cycle when);
+
+    /** Drop all cache state and port reservations (between runs). */
+    void reset();
+
+    const MemParams &params() const { return params_; }
+    StatGroup &stats() { return stats_; }
+
+    u64 l1Hits() const { return l1Hits_.value(); }
+    u64 l1Misses() const { return l1Misses_.value(); }
+    u64 l2Hits() const { return l2Hits_.value(); }
+    u64 l2Misses() const { return l2Misses_.value(); }
+    u64 vecAccesses() const { return vecAccesses_.value(); }
+    u64 vecStride1() const { return vecStride1_.value(); }
+    u64 coherenceInvalidations() const { return cohInval_.value(); }
+
+  private:
+    /** L2 lookup shared by the scalar-miss and vector paths.
+     *  @return cycle the line's data is available at the L2.  */
+    Cycle l2Lookup(Addr lineAddr, bool isWrite, Cycle when);
+
+    /** Reserve an L1 port and bank; @return transfer start cycle. */
+    Cycle reserveL1(Addr addr, u32 bytes, Cycle when);
+
+    MemParams params_;
+    CacheArray l1_;
+    CacheArray l2_;
+
+    std::vector<Cycle> l1PortFree_;
+    std::vector<Cycle> l1BankFree_;
+    Cycle vecPortFree_ = 0;
+
+    /** Outstanding-miss table: line address -> data-ready cycle. */
+    std::map<Addr, Cycle> mshr_;
+
+    StatGroup stats_;
+    Counter l1Hits_;
+    Counter l1Misses_;
+    Counter l2Hits_;
+    Counter l2Misses_;
+    Counter vecAccesses_;
+    Counter vecStride1_;
+    Counter vecElems_;
+    Counter cohInval_;
+    Counter cohWritebacks_;
+    Counter l1Writebacks_;
+};
+
+} // namespace vmmx
+
+#endif // VMMX_MEM_MEMSYS_HH

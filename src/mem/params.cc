@@ -1,0 +1,47 @@
+#include "mem/params.hh"
+
+#include "common/logging.hh"
+
+namespace vmmx
+{
+
+MemParams
+MemParams::forWay(unsigned way, const Config &cfg)
+{
+    if (way != 2 && way != 4 && way != 8)
+        fatal("unsupported superscalar width %u (want 2, 4 or 8)", way);
+
+    unsigned idx = way == 2 ? 0 : way == 4 ? 1 : 2;
+
+    MemParams p;
+    p.l1.name = "l1";
+    p.l1.sizeBytes = u32(cfg.getUint("mem.l1.size", 32 * 1024));
+    p.l1.assoc = u32(cfg.getUint("mem.l1.assoc", 4));
+    p.l1.lineBytes = u32(cfg.getUint("mem.l1.line", 32));
+    p.l1.banks = u32(cfg.getUint("mem.l1.banks", 8));
+    p.l1.latency = cfg.getUint("mem.l1.latency", 3);
+
+    p.l2.name = "l2";
+    p.l2.sizeBytes = u32(cfg.getUint("mem.l2.size", 512 * 1024));
+    p.l2.assoc = u32(cfg.getUint("mem.l2.assoc", 2));
+    p.l2.lineBytes = u32(cfg.getUint("mem.l2.line", 128));
+    p.l2.banks = u32(cfg.getUint("mem.l2.banks", 2));
+    p.l2.latency = cfg.getUint("mem.l2.latency", 12);
+
+    static const unsigned l1PortsByWay[3] = {1, 2, 4};
+    static const u32 fillByWay[3] = {16, 32, 64};
+    static const u32 vecByWay[3] = {8, 16, 32};
+
+    p.l1Ports = unsigned(cfg.getUint("mem.l1.ports", l1PortsByWay[idx]));
+    p.l1PortBytes = u32(cfg.getUint("mem.l1.port_bytes", 8));
+    p.l2FillBytes = u32(cfg.getUint("mem.l2.fill_bytes", fillByWay[idx]));
+    p.vecPortBytes = u32(cfg.getUint("mem.vec.port_bytes", vecByWay[idx]));
+    p.vecStridedBytes = u32(cfg.getUint("mem.vec.strided_bytes", 8));
+    p.memLatency = cfg.getUint("mem.latency", 500);
+    p.memPipeCycles = cfg.getUint("mem.pipe_cycles", 30);
+    p.mshrs = unsigned(cfg.getUint("mem.mshrs", 8));
+
+    return p;
+}
+
+} // namespace vmmx

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * gshare conditional-branch predictor: a table of 2-bit saturating
+ * counters indexed by (static site hash XOR global history).
+ */
+
+#ifndef VMMX_SIM_BPRED_HH
+#define VMMX_SIM_BPRED_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace vmmx
+{
+
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(unsigned entries);
+
+    /**
+     * Predict and update for one dynamic branch.
+     * @param staticId static branch site
+     * @param taken actual outcome from the trace
+     * @return true when the prediction matched the outcome.
+     */
+    bool predict(u32 staticId, bool taken);
+
+    void reset();
+
+    u64 lookups() const { return lookups_; }
+    u64 mispredicts() const { return mispredicts_; }
+
+  private:
+    std::vector<u8> table_;
+    u32 mask_;
+    u32 history_ = 0;
+    u64 lookups_ = 0;
+    u64 mispredicts_ = 0;
+};
+
+} // namespace vmmx
+
+#endif // VMMX_SIM_BPRED_HH

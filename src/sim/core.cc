@@ -1,0 +1,276 @@
+#include "sim/core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vmmx
+{
+
+namespace
+{
+
+size_t
+regClassIdx(RegClass c)
+{
+    return static_cast<size_t>(c);
+}
+
+} // namespace
+
+OoOCore::OoOCore(const CoreParams &params, MemorySystem *mem)
+    : params_(params),
+      mem_(mem),
+      fetchGate_(params.way),
+      renameGate_(params.way),
+      commitGate_(params.way),
+      iq_(params.iqSize),
+      intPool_(params.intFus),
+      fpPool_(params.fpFus),
+      simdPool_(params.simdFus),
+      simdIssuePool_(params.simdIssue),
+      bpred_(params.bpredEntries),
+      robRing_(params.robSize, 0)
+{
+    vmmx_assert(mem_ != nullptr, "core needs a memory system");
+
+    freeLists_.reserve(numRegClasses);
+    freeLists_.emplace_back(params.physInt, params.logicalInt);
+    freeLists_.emplace_back(params.physFp, params.logicalFp);
+    freeLists_.emplace_back(params.physSimd, params.logicalSimd);
+    freeLists_.emplace_back(params.physAcc, params.logicalAcc);
+
+    regReady_.resize(numRegClasses);
+    regReady_[regClassIdx(RegClass::Int)].assign(64, 0);
+    regReady_[regClassIdx(RegClass::Fp)].assign(64, 0);
+    regReady_[regClassIdx(RegClass::Simd)].assign(64, 0);
+    regReady_[regClassIdx(RegClass::Acc)].assign(8, 0);
+}
+
+Cycle
+OoOCore::memoryTime(const InstRecord &inst, Cycle issue)
+{
+    bool isWrite = inst.isStore();
+    if (inst.op == Opcode::VLOAD || inst.op == Opcode::VSTORE ||
+        inst.op == Opcode::VLOADP || inst.op == Opcode::VSTOREP) {
+        return mem_->vectorAccess(inst.addr, inst.rowBytes, inst.stride,
+                                  inst.rows(), isWrite, issue);
+    }
+    return mem_->scalarAccess(inst.addr, inst.rowBytes, isWrite, issue);
+}
+
+void
+OoOCore::step(const InstRecord &inst)
+{
+    const OpTraits &info = inst.info();
+
+    // ---- fetch ----
+    Cycle fetch = fetchGate_.pass(std::max(fetchRedirect_, Cycle(0)));
+
+    // ---- rename / dispatch ----
+    Cycle rn = fetch + params_.frontDepth;
+
+    // ROB space: the instruction robSize places earlier must have
+    // committed.
+    Cycle robFree = robRing_[seq_ % params_.robSize];
+    if (robFree + 1 > rn) {
+        rn = robFree + 1;
+        ++stats_.renameStallRob;
+    }
+
+    // Issue-queue space (VSETVL folds into rename and takes no entry).
+    bool takesIq = info.fu != FuType::None;
+    if (takesIq) {
+        Cycle iqReady = iq_.waitForSpace(rn);
+        if (iqReady > rn) {
+            rn = iqReady;
+            ++stats_.renameStallIq;
+        }
+    }
+
+    // Physical destination register.
+    if (inst.dst.valid()) {
+        RegFreeList &fl = freeLists_[regClassIdx(inst.dst.cls)];
+        Cycle regReady = fl.allocate(rn);
+        if (regReady > rn) {
+            rn = regReady;
+            ++stats_.renameStallRegs;
+        }
+    }
+
+    rn = renameGate_.pass(rn);
+
+    // ---- operand readiness ----
+    Cycle ready = rn + 1;
+    for (const RegId *src : {&inst.src0, &inst.src1, &inst.src2}) {
+        if (!src->valid())
+            continue;
+        const auto &table = regReady_[regClassIdx(src->cls)];
+        vmmx_assert(src->idx < table.size(), "logical register out of range");
+        ready = std::max(ready, table[src->idx]);
+    }
+    // Accumulating and partial-write ops read their destination too.
+    bool readsDst =
+        inst.dst.valid() &&
+        ((inst.dst.cls == RegClass::Acc && inst.op != Opcode::VACCCLR) ||
+         inst.op == Opcode::VLOADP || inst.op == Opcode::VACCPACK);
+    if (readsDst) {
+        ready = std::max(
+            ready, regReady_[regClassIdx(inst.dst.cls)][inst.dst.idx]);
+    }
+
+    // ---- issue and execute ----
+    Cycle done;
+    Cycle issue = ready;
+    switch (info.fu) {
+      case FuType::IntAlu:
+        issue = intPool_.acquire(ready);
+        done = issue + info.latency;
+        break;
+      case FuType::IntMul:
+        issue = intPool_.acquire(ready, info.latency > 4 ? info.latency : 1);
+        done = issue + info.latency;
+        break;
+      case FuType::Fp:
+        issue = fpPool_.acquire(ready);
+        done = issue + info.latency;
+        break;
+      case FuType::Simd: {
+        // Vector instructions stream vl rows through lanesPerFu lanes.
+        Cycle occ = 1;
+        if (inst.vl > 0) {
+            if (inst.op == Opcode::VTRANSP)
+                occ = inst.vl; // lane-exchange network
+            else
+                occ = (inst.vl + params_.lanesPerFu - 1) / params_.lanesPerFu;
+        }
+        issue = simdIssuePool_.acquire(ready);
+        issue = simdPool_.acquire(issue, occ);
+        done = issue + occ - 1 + info.latency;
+        break;
+      }
+      case FuType::Mem: {
+        issue = ready;
+        if (inst.isLoad()) {
+            // Wait for older overlapping stores still in flight.
+            Addr lo = inst.addr;
+            Addr hi = inst.addr;
+            if (inst.vl > 0 && inst.stride != 0) {
+                s64 span = s64(inst.stride) * (inst.rows() - 1);
+                if (span < 0)
+                    lo = Addr(s64(lo) + span);
+                else
+                    hi = Addr(s64(hi) + span);
+            }
+            hi += inst.rowBytes;
+            for (const auto &st : stores_) {
+                if (st.done > issue && st.lo < hi && lo < st.hi)
+                    issue = st.done;
+            }
+        }
+        done = memoryTime(inst, issue);
+        if (inst.isStore()) {
+            Addr lo = inst.addr;
+            Addr hi = inst.addr;
+            if (inst.vl > 0 && inst.stride != 0) {
+                s64 span = s64(inst.stride) * (inst.rows() - 1);
+                if (span < 0)
+                    lo = Addr(s64(lo) + span);
+                else
+                    hi = Addr(s64(hi) + span);
+            }
+            hi += inst.rowBytes;
+            stores_.push_back({lo, hi, done});
+            if (stores_.size() > params_.storeWindow)
+                stores_.pop_front();
+        }
+        ++stats_.memOps;
+        break;
+      }
+      case FuType::None:
+        issue = rn + 1;
+        done = issue;
+        break;
+      default:
+        panic("unknown FU type");
+    }
+
+    if (takesIq)
+        iq_.insert(issue);
+
+    // ---- writeback ----
+    if (inst.dst.valid()) {
+        auto &table = regReady_[regClassIdx(inst.dst.cls)];
+        vmmx_assert(inst.dst.idx < table.size(),
+                    "logical register out of range");
+        table[inst.dst.idx] = done;
+    }
+
+    // ---- branch resolution ----
+    if (inst.isBranch()) {
+        ++stats_.branches;
+        bool correct = inst.op == Opcode::BR
+                           ? bpred_.predict(inst.staticId, inst.taken)
+                           : true; // J/CALL/RET: target known (RAS)
+        if (!correct) {
+            ++stats_.mispredicts;
+            fetchRedirect_ =
+                std::max(fetchRedirect_, done + params_.mispredictPenalty);
+        }
+    }
+
+    // ---- commit (in order) ----
+    Cycle cc = std::max(done + 1, lastCommit_);
+    cc = commitGate_.pass(cc);
+
+    // Cycle attribution: the interval (lastCommit_, cc] belongs to the
+    // region of the committing instruction.
+    Cycle delta = cc > lastCommit_ ? cc - lastCommit_ : 0;
+    if (inst.region != 0)
+        stats_.vectorCycles += delta;
+    else
+        stats_.scalarCycles += delta;
+    lastCommit_ = cc;
+
+    // Free the previous mapping of the destination's logical register.
+    if (inst.dst.valid())
+        freeLists_[regClassIdx(inst.dst.cls)].release(cc);
+
+    robRing_[seq_ % params_.robSize] = cc;
+    ++seq_;
+
+    ++stats_.instructions;
+    ++stats_.instByClass[static_cast<size_t>(info.cls)];
+}
+
+RunStats
+OoOCore::run(const std::vector<InstRecord> &trace)
+{
+    stats_ = RunStats{};
+    fetchGate_.reset();
+    renameGate_.reset();
+    commitGate_.reset();
+    iq_.reset();
+    intPool_.reset();
+    fpPool_.reset();
+    simdPool_.reset();
+    simdIssuePool_.reset();
+    bpred_.reset();
+    for (auto &fl : freeLists_)
+        fl.reset();
+    for (auto &table : regReady_)
+        std::fill(table.begin(), table.end(), 0);
+    std::fill(robRing_.begin(), robRing_.end(), 0);
+    stores_.clear();
+    seq_ = 0;
+    lastCommit_ = 0;
+    fetchRedirect_ = 0;
+
+    for (const InstRecord &inst : trace)
+        step(inst);
+
+    stats_.cycles = lastCommit_;
+    return stats_;
+}
+
+} // namespace vmmx

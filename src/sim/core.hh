@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Out-of-order superscalar timing core.
+ *
+ * The core replays a dynamic instruction trace through an
+ * R10000-style pipeline model: width-limited in-order fetch/rename/
+ * commit, renaming against per-class physical register free lists,
+ * windowed issue queue, out-of-order issue to functional-unit pools, a
+ * gshare branch predictor with a fixed redirect penalty, address-based
+ * store->load disambiguation, and the two-level memory system with the
+ * vector-cache path.
+ *
+ * Vector (matrix) instructions occupy a vector unit for
+ * ceil(vl / lanesPerFu) cycles; in-register transposes occupy the lane
+ * exchange network for vl cycles.
+ *
+ * The model is a single in-program-order pass that resolves each
+ * instruction's fetch/rename/issue/complete/commit cycles against the
+ * reservations made by older instructions -- equivalent to a cycle-driven
+ * model for this machine (no speculation past unresolved branches is
+ * modelled other than through the redirect penalty).
+ */
+
+#ifndef VMMX_SIM_CORE_HH
+#define VMMX_SIM_CORE_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "mem/memsys.hh"
+#include "sim/bpred.hh"
+#include "sim/params.hh"
+#include "sim/resources.hh"
+#include "sim/runstats.hh"
+
+namespace vmmx
+{
+
+class OoOCore
+{
+  public:
+    /** @param mem the memory system; not owned. */
+    OoOCore(const CoreParams &params, MemorySystem *mem);
+
+    /** Replay @p trace from a cold pipeline; cache state persists across
+     *  calls unless the memory system is reset. */
+    RunStats run(const std::vector<InstRecord> &trace);
+
+    const CoreParams &params() const { return params_; }
+
+  private:
+    /** Process one instruction; updates all resource state. */
+    void step(const InstRecord &inst);
+
+    Cycle memoryTime(const InstRecord &inst, Cycle issue);
+
+    CoreParams params_;
+    MemorySystem *mem_;
+
+    WidthGate fetchGate_;
+    WidthGate renameGate_;
+    WidthGate commitGate_;
+    IssueQueueModel iq_;
+    SlotPool intPool_;
+    SlotPool fpPool_;
+    SlotPool simdPool_;
+    SlotPool simdIssuePool_;
+    BranchPredictor bpred_;
+
+    std::vector<RegFreeList> freeLists_;
+    /** regReady_[class][logical] = cycle the latest writer's value is
+     *  available. */
+    std::vector<std::vector<Cycle>> regReady_;
+
+    /** Commit-cycle ring for the ROB-occupancy constraint. */
+    std::vector<Cycle> robRing_;
+    u64 seq_ = 0;
+    Cycle lastCommit_ = 0;
+    Cycle fetchRedirect_ = 0;
+
+    struct PendingStore
+    {
+        Addr lo;
+        Addr hi;
+        Cycle done;
+    };
+    std::deque<PendingStore> stores_;
+
+    RunStats stats_;
+};
+
+} // namespace vmmx
+
+#endif // VMMX_SIM_CORE_HH

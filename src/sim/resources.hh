@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Structural-resource models used by the single-pass out-of-order timing
+ * core: per-cycle width gates for the in-order stages, slot pools for
+ * functional units, a windowed issue-queue model, and per-class physical
+ * register free lists.
+ *
+ * Instructions are processed in program order; these helpers answer "at
+ * which cycle >= c can this instruction acquire the resource" while
+ * keeping the acquired reservations.
+ */
+
+#ifndef VMMX_SIM_RESOURCES_HH
+#define VMMX_SIM_RESOURCES_HH
+
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace vmmx
+{
+
+/**
+ * In-order pipeline stage of fixed width: at most @p width instructions
+ * pass per cycle, in program order.
+ */
+class WidthGate
+{
+  public:
+    explicit WidthGate(unsigned width) : width_(width) {}
+
+    /** @return the cycle at which the next instruction passes (>= c). */
+    Cycle pass(Cycle c);
+
+    void reset();
+
+  private:
+    unsigned width_;
+    Cycle cur_ = 0;
+    unsigned used_ = 0;
+};
+
+/**
+ * A pool of identical units; acquiring takes the earliest-free unit and
+ * occupies it for @p occupancy cycles.  Models functional units (and,
+ * with occupancy 1, per-cycle issue slots).
+ */
+class SlotPool
+{
+  public:
+    explicit SlotPool(unsigned slots) : free_(slots, 0) {}
+
+    /** @return start cycle >= c at which a unit was acquired. */
+    Cycle acquire(Cycle c, Cycle occupancy = 1);
+
+    void reset();
+
+  private:
+    std::vector<Cycle> free_;
+};
+
+/**
+ * Issue-queue occupancy: entries are held from rename until issue.  The
+ * caller asks for space before renaming and registers the (later
+ * computed) issue cycle afterwards.
+ */
+class IssueQueueModel
+{
+  public:
+    explicit IssueQueueModel(unsigned capacity) : capacity_(capacity) {}
+
+    /** @return earliest cycle >= c with a free entry. */
+    Cycle waitForSpace(Cycle c);
+
+    /** Record that the instruction renamed here leaves at @p issueCycle. */
+    void insert(Cycle issueCycle) { resident_.push(issueCycle); }
+
+    void reset();
+
+  private:
+    unsigned capacity_;
+    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>>
+        resident_;
+};
+
+/**
+ * Physical register free list for one register class.  A rename consumes
+ * one register; committing a later writer of the same logical register
+ * releases the previous mapping.
+ */
+class RegFreeList
+{
+  public:
+    RegFreeList(unsigned physRegs, unsigned logicalRegs);
+
+    /** @return earliest cycle >= c at which a register can be allocated;
+     *  performs the allocation. */
+    Cycle allocate(Cycle c);
+
+    /** A previous mapping becomes free when its successor commits. */
+    void release(Cycle commitCycle) { releases_.push(commitCycle); }
+
+    void reset();
+
+    unsigned freeNow() const { return free_; }
+
+  private:
+    void harvest(Cycle c);
+
+    unsigned total_;
+    unsigned free_;
+    unsigned initialFree_;
+    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>>
+        releases_;
+};
+
+} // namespace vmmx
+
+#endif // VMMX_SIM_RESOURCES_HH

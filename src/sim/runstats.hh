@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Aggregate results of one timed run.
+ */
+
+#ifndef VMMX_SIM_RUNSTATS_HH
+#define VMMX_SIM_RUNSTATS_HH
+
+#include <array>
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace vmmx
+{
+
+struct RunStats
+{
+    Cycle cycles = 0;            ///< total execution time
+    u64 instructions = 0;        ///< committed dynamic instructions
+    std::array<u64, numInstClasses> instByClass{};
+
+    Cycle scalarCycles = 0;      ///< cycles attributed to scalar regions
+    Cycle vectorCycles = 0;      ///< cycles attributed to vector regions
+
+    u64 branches = 0;
+    u64 mispredicts = 0;
+    u64 memOps = 0;
+
+    u64 renameStallRegs = 0;     ///< renames delayed by register pressure
+    u64 renameStallRob = 0;      ///< renames delayed by a full ROB
+    u64 renameStallIq = 0;       ///< renames delayed by a full issue queue
+
+    double ipc() const
+    {
+        return cycles ? double(instructions) / double(cycles) : 0.0;
+    }
+
+    u64
+    classCount(InstClass c) const
+    {
+        return instByClass[static_cast<size_t>(c)];
+    }
+
+    u64
+    vectorInsts() const
+    {
+        return classCount(InstClass::VMEM) + classCount(InstClass::VARITH);
+    }
+};
+
+} // namespace vmmx
+
+#endif // VMMX_SIM_RUNSTATS_HH

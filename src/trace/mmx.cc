@@ -1,0 +1,310 @@
+#include "trace/mmx.hh"
+
+namespace vmmx
+{
+
+Mmx::Mmx(Program &p)
+    : p_(p), w_(p.width())
+{
+    vmmx_assert(!p.matrix(),
+                "Mmx engine used with a matrix flavour; use Vmmx");
+}
+
+void
+Mmx::load(VR d, SReg base, s64 disp)
+{
+    Addr a = p_.val(base) + u64(disp);
+    VWord v;
+    v.lo = p_.mem_.read64(a);
+    if (w_ == 16)
+        v.hi = p_.mem_.read64(a + 8);
+    p_.vregs_[p_.check(d)] = v;
+
+    InstRecord r;
+    r.op = Opcode::PLOAD;
+    r.dst = simdReg(d.idx);
+    r.src0 = intReg(base.idx);
+    r.addr = a;
+    r.rowBytes = u16(w_);
+    r.stride = s32(w_);
+    p_.emit(r);
+}
+
+void
+Mmx::store(VR s, SReg base, s64 disp)
+{
+    Addr a = p_.val(base) + u64(disp);
+    const VWord &v = p_.vregs_[p_.check(s)];
+    p_.mem_.write64(a, v.lo);
+    if (w_ == 16)
+        p_.mem_.write64(a + 8, v.hi);
+
+    InstRecord r;
+    r.op = Opcode::PSTORE;
+    r.src0 = simdReg(s.idx);
+    r.src1 = intReg(base.idx);
+    r.addr = a;
+    r.rowBytes = u16(w_);
+    r.stride = s32(w_);
+    p_.emit(r);
+}
+
+void
+Mmx::loadLow(VR d, SReg base, s64 disp)
+{
+    Addr a = p_.val(base) + u64(disp);
+    VWord v;
+    v.lo = p_.mem_.read64(a);
+    p_.vregs_[p_.check(d)] = v;
+
+    InstRecord r;
+    r.op = Opcode::PLOAD;
+    r.dst = simdReg(d.idx);
+    r.src0 = intReg(base.idx);
+    r.addr = a;
+    r.rowBytes = 8;
+    r.stride = 8;
+    p_.emit(r);
+}
+
+void
+Mmx::storeLow(VR s, SReg base, s64 disp)
+{
+    Addr a = p_.val(base) + u64(disp);
+    p_.mem_.write64(a, p_.vregs_[p_.check(s)].lo);
+
+    InstRecord r;
+    r.op = Opcode::PSTORE;
+    r.src0 = simdReg(s.idx);
+    r.src1 = intReg(base.idx);
+    r.addr = a;
+    r.rowBytes = 8;
+    r.stride = 8;
+    p_.emit(r);
+}
+
+void
+Mmx::binOp(Opcode op, VR d, VR a, VR b, ElemWidth ew, const VWord &result)
+{
+    p_.vregs_[p_.check(d)] = result;
+
+    InstRecord r;
+    r.op = op;
+    r.ew = ew;
+    r.dst = simdReg(d.idx);
+    r.src0 = simdReg(a.idx);
+    r.src1 = simdReg(b.idx);
+    p_.emit(r);
+}
+
+void
+Mmx::padd(VR d, VR a, VR b, ElemWidth ew)
+{
+    binOp(Opcode::PADD, d, a, b, ew,
+          emu::padd(p_.vval(a), p_.vval(b), ew, w_));
+}
+
+void
+Mmx::padds(VR d, VR a, VR b, ElemWidth ew, bool isSigned)
+{
+    binOp(Opcode::PADDS, d, a, b, ew,
+          emu::padds(p_.vval(a), p_.vval(b), ew, w_, isSigned));
+}
+
+void
+Mmx::psub(VR d, VR a, VR b, ElemWidth ew)
+{
+    binOp(Opcode::PSUB, d, a, b, ew,
+          emu::psub(p_.vval(a), p_.vval(b), ew, w_));
+}
+
+void
+Mmx::psubs(VR d, VR a, VR b, ElemWidth ew, bool isSigned)
+{
+    binOp(Opcode::PSUBS, d, a, b, ew,
+          emu::psubs(p_.vval(a), p_.vval(b), ew, w_, isSigned));
+}
+
+void
+Mmx::pmull(VR d, VR a, VR b, ElemWidth ew)
+{
+    binOp(Opcode::PMULL, d, a, b, ew,
+          emu::pmull(p_.vval(a), p_.vval(b), ew, w_));
+}
+
+void
+Mmx::pmulh(VR d, VR a, VR b, ElemWidth ew)
+{
+    binOp(Opcode::PMULH, d, a, b, ew,
+          emu::pmulh(p_.vval(a), p_.vval(b), ew, w_));
+}
+
+void
+Mmx::pmadd(VR d, VR a, VR b)
+{
+    binOp(Opcode::PMADD, d, a, b, ElemWidth::W16,
+          emu::pmadd(p_.vval(a), p_.vval(b), w_));
+}
+
+void
+Mmx::psad(VR d, VR a, VR b)
+{
+    binOp(Opcode::PSAD, d, a, b, ElemWidth::B8,
+          emu::psad(p_.vval(a), p_.vval(b), w_));
+}
+
+void
+Mmx::pavg(VR d, VR a, VR b, ElemWidth ew)
+{
+    binOp(Opcode::PAVG, d, a, b, ew,
+          emu::pavg(p_.vval(a), p_.vval(b), ew, w_));
+}
+
+void
+Mmx::pmin(VR d, VR a, VR b, ElemWidth ew, bool isSigned)
+{
+    binOp(Opcode::PMIN, d, a, b, ew,
+          emu::pmin(p_.vval(a), p_.vval(b), ew, w_, isSigned));
+}
+
+void
+Mmx::pmax(VR d, VR a, VR b, ElemWidth ew, bool isSigned)
+{
+    binOp(Opcode::PMAX, d, a, b, ew,
+          emu::pmax(p_.vval(a), p_.vval(b), ew, w_, isSigned));
+}
+
+void
+Mmx::pand(VR d, VR a, VR b)
+{
+    binOp(Opcode::PAND, d, a, b, ElemWidth::Q64,
+          emu::pand(p_.vval(a), p_.vval(b), w_));
+}
+
+void
+Mmx::por(VR d, VR a, VR b)
+{
+    binOp(Opcode::POR, d, a, b, ElemWidth::Q64,
+          emu::por(p_.vval(a), p_.vval(b), w_));
+}
+
+void
+Mmx::pxor(VR d, VR a, VR b)
+{
+    binOp(Opcode::PXOR, d, a, b, ElemWidth::Q64,
+          emu::pxor(p_.vval(a), p_.vval(b), w_));
+}
+
+void
+Mmx::pslli(VR d, VR a, unsigned sh, ElemWidth ew)
+{
+    binOp(Opcode::PSLL, d, a, a, ew,
+          emu::pshift(p_.vval(a), ew, w_, sh, emu::ShiftKind::Sll));
+}
+
+void
+Mmx::psrli(VR d, VR a, unsigned sh, ElemWidth ew)
+{
+    binOp(Opcode::PSRL, d, a, a, ew,
+          emu::pshift(p_.vval(a), ew, w_, sh, emu::ShiftKind::Srl));
+}
+
+void
+Mmx::psrai(VR d, VR a, unsigned sh, ElemWidth ew)
+{
+    binOp(Opcode::PSRA, d, a, a, ew,
+          emu::pshift(p_.vval(a), ew, w_, sh, emu::ShiftKind::Sra));
+}
+
+void
+Mmx::packs(VR d, VR a, VR b, ElemWidth srcEw)
+{
+    binOp(Opcode::PACKS, d, a, b, srcEw,
+          emu::packs(p_.vval(a), p_.vval(b), srcEw, w_));
+}
+
+void
+Mmx::packus(VR d, VR a, VR b, ElemWidth srcEw)
+{
+    binOp(Opcode::PACKUS, d, a, b, srcEw,
+          emu::packus(p_.vval(a), p_.vval(b), srcEw, w_));
+}
+
+void
+Mmx::unpckl(VR d, VR a, VR b, ElemWidth ew)
+{
+    binOp(Opcode::UNPCKL, d, a, b, ew,
+          emu::unpckl(p_.vval(a), p_.vval(b), ew, w_));
+}
+
+void
+Mmx::unpckh(VR d, VR a, VR b, ElemWidth ew)
+{
+    binOp(Opcode::UNPCKH, d, a, b, ew,
+          emu::unpckh(p_.vval(a), p_.vval(b), ew, w_));
+}
+
+void
+Mmx::psplat(VR d, SReg s, ElemWidth ew)
+{
+    p_.vregs_[p_.check(d)] = emu::psplat(p_.val(s), ew, w_);
+
+    InstRecord r;
+    r.op = Opcode::PSPLAT;
+    r.ew = ew;
+    r.dst = simdReg(d.idx);
+    r.src0 = intReg(s.idx);
+    p_.emit(r);
+}
+
+void
+Mmx::pzero(VR d)
+{
+    p_.vregs_[p_.check(d)] = VWord{};
+
+    InstRecord r;
+    r.op = Opcode::PXOR;
+    r.dst = simdReg(d.idx);
+    p_.emit(r);
+}
+
+void
+Mmx::pmovd(VR d, SReg s)
+{
+    VWord v;
+    v.lo = p_.val(s);
+    p_.vregs_[p_.check(d)] = emu::truncate(v, w_);
+
+    InstRecord r;
+    r.op = Opcode::PMOVD;
+    r.dst = simdReg(d.idx);
+    r.src0 = intReg(s.idx);
+    p_.emit(r);
+}
+
+void
+Mmx::pmovd(SReg d, VR s)
+{
+    p_.intRegs_[p_.check(d)] = p_.vval(s).lo;
+
+    InstRecord r;
+    r.op = Opcode::PMOVD;
+    r.dst = intReg(d.idx);
+    r.src0 = simdReg(s.idx);
+    p_.emit(r);
+}
+
+void
+Mmx::psum(SReg d, VR a, ElemWidth ew, bool isSigned)
+{
+    p_.intRegs_[p_.check(d)] = u64(emu::psum(p_.vval(a), ew, w_, isSigned));
+
+    InstRecord r;
+    r.op = Opcode::PSUM;
+    r.ew = ew;
+    r.dst = intReg(d.idx);
+    r.src0 = simdReg(a.idx);
+    p_.emit(r);
+}
+
+} // namespace vmmx

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * 1-D packed-SIMD engine (MMX64 / MMX128 flavours).
+ *
+ * Each method performs the packed operation on the Program's emulated
+ * SIMD registers (low 8 or 16 bytes depending on the flavour) and emits
+ * the corresponding dynamic instruction.  This mirrors the emulation
+ * libraries the paper used to code the MMX/SSE kernel versions.
+ */
+
+#ifndef VMMX_TRACE_MMX_HH
+#define VMMX_TRACE_MMX_HH
+
+#include "emu/packed.hh"
+#include "trace/program.hh"
+
+namespace vmmx
+{
+
+class Mmx
+{
+  public:
+    explicit Mmx(Program &p);
+
+    unsigned width() const { return w_; }
+
+    // ---- memory ----
+    /** Packed load of one full-width word at val(base) + disp. */
+    void load(VR d, SReg base, s64 disp);
+    void store(VR s, SReg base, s64 disp);
+    /** Store only the low 8 bytes (MOVQ-style); useful when a 128-bit
+     *  register holds an 8-byte result. */
+    void storeLow(VR s, SReg base, s64 disp);
+    /** Load 8 bytes into the low half, zeroing the rest (MOVQ-style). */
+    void loadLow(VR d, SReg base, s64 disp);
+
+    // ---- arithmetic ----
+    void padd(VR d, VR a, VR b, ElemWidth ew);
+    void padds(VR d, VR a, VR b, ElemWidth ew, bool isSigned);
+    void psub(VR d, VR a, VR b, ElemWidth ew);
+    void psubs(VR d, VR a, VR b, ElemWidth ew, bool isSigned);
+    void pmull(VR d, VR a, VR b, ElemWidth ew);
+    void pmulh(VR d, VR a, VR b, ElemWidth ew);
+    void pmadd(VR d, VR a, VR b);
+    void psad(VR d, VR a, VR b);
+    void pavg(VR d, VR a, VR b, ElemWidth ew);
+    void pmin(VR d, VR a, VR b, ElemWidth ew, bool isSigned);
+    void pmax(VR d, VR a, VR b, ElemWidth ew, bool isSigned);
+    void pand(VR d, VR a, VR b);
+    void por(VR d, VR a, VR b);
+    void pxor(VR d, VR a, VR b);
+    void pslli(VR d, VR a, unsigned sh, ElemWidth ew);
+    void psrli(VR d, VR a, unsigned sh, ElemWidth ew);
+    void psrai(VR d, VR a, unsigned sh, ElemWidth ew);
+    void packs(VR d, VR a, VR b, ElemWidth srcEw);
+    void packus(VR d, VR a, VR b, ElemWidth srcEw);
+    void unpckl(VR d, VR a, VR b, ElemWidth ew);
+    void unpckh(VR d, VR a, VR b, ElemWidth ew);
+
+    /** Broadcast the low element of a scalar register. */
+    void psplat(VR d, SReg s, ElemWidth ew);
+    /** Zero a register (pxor idiom; breaks dependences). */
+    void pzero(VR d);
+    /** Move: scalar -> SIMD element 0 (rest zeroed). */
+    void pmovd(VR d, SReg s);
+    /** Move: SIMD element 0 -> scalar. */
+    void pmovd(SReg d, VR s);
+    /** Horizontal reduce into a scalar register. */
+    void psum(SReg d, VR a, ElemWidth ew, bool isSigned);
+
+  private:
+    void binOp(Opcode op, VR d, VR a, VR b, ElemWidth ew,
+               const VWord &result);
+
+    Program &p_;
+    unsigned w_;
+};
+
+} // namespace vmmx
+
+#endif // VMMX_TRACE_MMX_HH

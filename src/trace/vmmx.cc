@@ -1,0 +1,455 @@
+#include "trace/vmmx.hh"
+
+namespace vmmx
+{
+
+Vmmx::Vmmx(Program &p)
+    : p_(p), w_(p.width())
+{
+    vmmx_assert(p.matrix(), "Vmmx engine used with a 1-D flavour; use Mmx");
+}
+
+void
+Vmmx::setvl(u16 rows)
+{
+    vmmx_assert(rows >= 1 && rows <= maxMatrixRows, "vector length %u",
+                rows);
+    p_.vl_ = rows;
+
+    InstRecord r;
+    r.op = Opcode::VSETVL;
+    p_.emit(r);
+}
+
+void
+Vmmx::memOp(Opcode op, VR reg, SReg base, s64 disp, s64 stride,
+            unsigned row0, unsigned nrows, bool isStore, SReg strideReg,
+            unsigned bytesPerRow)
+{
+    vmmx_assert(row0 + nrows <= maxMatrixRows, "rows out of range");
+    if (bytesPerRow == 0)
+        bytesPerRow = w_;
+    vmmx_assert(bytesPerRow == 8 || bytesPerRow == w_,
+                "bad partial row width");
+    Addr a = p_.val(base) + u64(disp);
+    MatrixReg &m = p_.mregs_[p_.check(reg)];
+
+    for (unsigned r = 0; r < nrows; ++r) {
+        Addr rowAddr = a + Addr(stride * s64(r));
+        VWord &row = m[row0 + r];
+        if (isStore) {
+            p_.mem_.write64(rowAddr, row.lo);
+            if (bytesPerRow == 16)
+                p_.mem_.write64(rowAddr + 8, row.hi);
+        } else {
+            row.lo = p_.mem_.read64(rowAddr);
+            row.hi = bytesPerRow == 16 ? p_.mem_.read64(rowAddr + 8) : 0;
+        }
+    }
+
+    InstRecord rec;
+    rec.op = op;
+    if (isStore) {
+        rec.src0 = simdReg(reg.idx);
+        rec.src1 = intReg(base.idx);
+        if (strideReg.valid())
+            rec.src2 = intReg(strideReg.idx);
+    } else {
+        rec.dst = simdReg(reg.idx);
+        rec.src0 = intReg(base.idx);
+        if (strideReg.valid())
+            rec.src1 = intReg(strideReg.idx);
+    }
+    rec.addr = a;
+    rec.rowBytes = u16(bytesPerRow);
+    rec.stride = s32(stride);
+    rec.vl = u16(nrows);
+    p_.emit(rec);
+}
+
+void
+Vmmx::loadHalf(VR d, SReg base, s64 disp, SReg stride)
+{
+    memOp(Opcode::VLOADP, d, base, disp, p_.sval(stride), 0, p_.vl_, false,
+          stride, 8);
+}
+
+void
+Vmmx::storeHalf(VR s, SReg base, s64 disp, SReg stride)
+{
+    memOp(Opcode::VSTOREP, s, base, disp, p_.sval(stride), 0, p_.vl_, true,
+          stride, 8);
+}
+
+void
+Vmmx::load(VR d, SReg base, s64 disp, SReg stride)
+{
+    memOp(Opcode::VLOAD, d, base, disp, p_.sval(stride), 0, p_.vl_, false,
+          stride);
+}
+
+void
+Vmmx::loadU(VR d, SReg base, s64 disp)
+{
+    memOp(Opcode::VLOAD, d, base, disp, s64(w_), 0, p_.vl_, false, {});
+}
+
+void
+Vmmx::store(VR s, SReg base, s64 disp, SReg stride)
+{
+    memOp(Opcode::VSTORE, s, base, disp, p_.sval(stride), 0, p_.vl_, true,
+          stride);
+}
+
+void
+Vmmx::storeU(VR s, SReg base, s64 disp)
+{
+    memOp(Opcode::VSTORE, s, base, disp, s64(w_), 0, p_.vl_, true, {});
+}
+
+void
+Vmmx::loadPartial(VR d, unsigned row0, unsigned nrows, SReg base, s64 disp,
+                  SReg stride)
+{
+    memOp(Opcode::VLOADP, d, base, disp, p_.sval(stride), row0, nrows,
+          false, stride);
+}
+
+void
+Vmmx::storePartial(VR s, unsigned row0, unsigned nrows, SReg base, s64 disp,
+                   SReg stride)
+{
+    memOp(Opcode::VSTOREP, s, base, disp, p_.sval(stride), row0, nrows,
+          true, stride);
+}
+
+void
+Vmmx::binOp(Opcode op, VR d, VR a, VR b, ElemWidth ew,
+            const std::function<VWord(const VWord &, const VWord &)> &fn)
+{
+    const MatrixReg &ma = p_.mregs_[p_.check(a)];
+    const MatrixReg &mb = p_.mregs_[p_.check(b)];
+    MatrixReg out{};
+    for (unsigned r = 0; r < p_.vl_; ++r)
+        out[r] = fn(ma[r], mb[r]);
+    p_.mregs_[p_.check(d)] = out;
+
+    InstRecord rec;
+    rec.op = op;
+    rec.ew = ew;
+    rec.dst = simdReg(d.idx);
+    rec.src0 = simdReg(a.idx);
+    rec.src1 = simdReg(b.idx);
+    rec.vl = p_.vl_;
+    p_.emit(rec);
+}
+
+void
+Vmmx::padd(VR d, VR a, VR b, ElemWidth ew)
+{
+    binOp(Opcode::PADD, d, a, b, ew, [&](const VWord &x, const VWord &y) {
+        return emu::padd(x, y, ew, w_);
+    });
+}
+
+void
+Vmmx::padds(VR d, VR a, VR b, ElemWidth ew, bool isSigned)
+{
+    binOp(Opcode::PADDS, d, a, b, ew, [&](const VWord &x, const VWord &y) {
+        return emu::padds(x, y, ew, w_, isSigned);
+    });
+}
+
+void
+Vmmx::psub(VR d, VR a, VR b, ElemWidth ew)
+{
+    binOp(Opcode::PSUB, d, a, b, ew, [&](const VWord &x, const VWord &y) {
+        return emu::psub(x, y, ew, w_);
+    });
+}
+
+void
+Vmmx::psubs(VR d, VR a, VR b, ElemWidth ew, bool isSigned)
+{
+    binOp(Opcode::PSUBS, d, a, b, ew, [&](const VWord &x, const VWord &y) {
+        return emu::psubs(x, y, ew, w_, isSigned);
+    });
+}
+
+void
+Vmmx::pmull(VR d, VR a, VR b, ElemWidth ew)
+{
+    binOp(Opcode::PMULL, d, a, b, ew, [&](const VWord &x, const VWord &y) {
+        return emu::pmull(x, y, ew, w_);
+    });
+}
+
+void
+Vmmx::pmulh(VR d, VR a, VR b, ElemWidth ew)
+{
+    binOp(Opcode::PMULH, d, a, b, ew, [&](const VWord &x, const VWord &y) {
+        return emu::pmulh(x, y, ew, w_);
+    });
+}
+
+void
+Vmmx::pmadd(VR d, VR a, VR b)
+{
+    binOp(Opcode::PMADD, d, a, b, ElemWidth::W16,
+          [&](const VWord &x, const VWord &y) {
+              return emu::pmadd(x, y, w_);
+          });
+}
+
+void
+Vmmx::pavg(VR d, VR a, VR b, ElemWidth ew)
+{
+    binOp(Opcode::PAVG, d, a, b, ew, [&](const VWord &x, const VWord &y) {
+        return emu::pavg(x, y, ew, w_);
+    });
+}
+
+void
+Vmmx::pmin(VR d, VR a, VR b, ElemWidth ew, bool isSigned)
+{
+    binOp(Opcode::PMIN, d, a, b, ew, [&](const VWord &x, const VWord &y) {
+        return emu::pmin(x, y, ew, w_, isSigned);
+    });
+}
+
+void
+Vmmx::pmax(VR d, VR a, VR b, ElemWidth ew, bool isSigned)
+{
+    binOp(Opcode::PMAX, d, a, b, ew, [&](const VWord &x, const VWord &y) {
+        return emu::pmax(x, y, ew, w_, isSigned);
+    });
+}
+
+void
+Vmmx::pand(VR d, VR a, VR b)
+{
+    binOp(Opcode::PAND, d, a, b, ElemWidth::Q64,
+          [&](const VWord &x, const VWord &y) {
+              return emu::pand(x, y, w_);
+          });
+}
+
+void
+Vmmx::por(VR d, VR a, VR b)
+{
+    binOp(Opcode::POR, d, a, b, ElemWidth::Q64,
+          [&](const VWord &x, const VWord &y) {
+              return emu::por(x, y, w_);
+          });
+}
+
+void
+Vmmx::pxor(VR d, VR a, VR b)
+{
+    binOp(Opcode::PXOR, d, a, b, ElemWidth::Q64,
+          [&](const VWord &x, const VWord &y) {
+              return emu::pxor(x, y, w_);
+          });
+}
+
+void
+Vmmx::pslli(VR d, VR a, unsigned sh, ElemWidth ew)
+{
+    binOp(Opcode::PSLL, d, a, a, ew, [&](const VWord &x, const VWord &) {
+        return emu::pshift(x, ew, w_, sh, emu::ShiftKind::Sll);
+    });
+}
+
+void
+Vmmx::psrli(VR d, VR a, unsigned sh, ElemWidth ew)
+{
+    binOp(Opcode::PSRL, d, a, a, ew, [&](const VWord &x, const VWord &) {
+        return emu::pshift(x, ew, w_, sh, emu::ShiftKind::Srl);
+    });
+}
+
+void
+Vmmx::psrai(VR d, VR a, unsigned sh, ElemWidth ew)
+{
+    binOp(Opcode::PSRA, d, a, a, ew, [&](const VWord &x, const VWord &) {
+        return emu::pshift(x, ew, w_, sh, emu::ShiftKind::Sra);
+    });
+}
+
+void
+Vmmx::packs(VR d, VR a, VR b, ElemWidth srcEw)
+{
+    binOp(Opcode::PACKS, d, a, b, srcEw,
+          [&](const VWord &x, const VWord &y) {
+              return emu::packs(x, y, srcEw, w_);
+          });
+}
+
+void
+Vmmx::packus(VR d, VR a, VR b, ElemWidth srcEw)
+{
+    binOp(Opcode::PACKUS, d, a, b, srcEw,
+          [&](const VWord &x, const VWord &y) {
+              return emu::packus(x, y, srcEw, w_);
+          });
+}
+
+void
+Vmmx::unpckl(VR d, VR a, VR b, ElemWidth ew)
+{
+    binOp(Opcode::UNPCKL, d, a, b, ew, [&](const VWord &x, const VWord &y) {
+        return emu::unpckl(x, y, ew, w_);
+    });
+}
+
+void
+Vmmx::unpckh(VR d, VR a, VR b, ElemWidth ew)
+{
+    binOp(Opcode::UNPCKH, d, a, b, ew, [&](const VWord &x, const VWord &y) {
+        return emu::unpckh(x, y, ew, w_);
+    });
+}
+
+void
+Vmmx::vsplat(VR d, SReg s, ElemWidth ew)
+{
+    MatrixReg &m = p_.mregs_[p_.check(d)];
+    VWord row = emu::psplat(p_.val(s), ew, w_);
+    for (unsigned r = 0; r < p_.vl_; ++r)
+        m[r] = row;
+
+    InstRecord rec;
+    rec.op = Opcode::PSPLAT;
+    rec.ew = ew;
+    rec.dst = simdReg(d.idx);
+    rec.src0 = intReg(s.idx);
+    rec.vl = p_.vl_;
+    p_.emit(rec);
+}
+
+void
+Vmmx::vzero(VR d)
+{
+    p_.mregs_[p_.check(d)] = MatrixReg{};
+
+    InstRecord rec;
+    rec.op = Opcode::PXOR;
+    rec.dst = simdReg(d.idx);
+    rec.vl = p_.vl_;
+    p_.emit(rec);
+}
+
+void
+Vmmx::vtransp(VR d, VR s)
+{
+    unsigned dim = w_ / 2; // s16 columns per row
+    const MatrixReg &src = p_.mregs_[p_.check(s)];
+    MatrixReg out = p_.mregs_[p_.check(d)];
+    for (unsigned i = 0; i < dim; ++i)
+        for (unsigned j = 0; j < dim; ++j)
+            out[i].setWord(j, src[j].word(i));
+    p_.mregs_[p_.check(d)] = out;
+
+    InstRecord rec;
+    rec.op = Opcode::VTRANSP;
+    rec.ew = ElemWidth::W16;
+    rec.dst = simdReg(d.idx);
+    rec.src0 = simdReg(s.idx);
+    rec.vl = u16(dim);
+    p_.emit(rec);
+}
+
+void
+Vmmx::accclr(AR a)
+{
+    p_.accs_[p_.check(a)].clear();
+
+    InstRecord rec;
+    rec.op = Opcode::VACCCLR;
+    rec.dst = accReg(a.idx);
+    p_.emit(rec);
+}
+
+void
+Vmmx::vsada(AR acc, VR a, VR b)
+{
+    emu::Accum &ac = p_.accs_[p_.check(acc)];
+    const MatrixReg &ma = p_.mregs_[p_.check(a)];
+    const MatrixReg &mb = p_.mregs_[p_.check(b)];
+    for (unsigned r = 0; r < p_.vl_; ++r)
+        emu::accSad(ac, ma[r], mb[r], w_);
+
+    InstRecord rec;
+    rec.op = Opcode::VSADA;
+    rec.ew = ElemWidth::B8;
+    rec.dst = accReg(acc.idx);
+    rec.src0 = simdReg(a.idx);
+    rec.src1 = simdReg(b.idx);
+    rec.vl = p_.vl_;
+    p_.emit(rec);
+}
+
+void
+Vmmx::vmacc(AR acc, VR a, VR b)
+{
+    emu::Accum &ac = p_.accs_[p_.check(acc)];
+    const MatrixReg &ma = p_.mregs_[p_.check(a)];
+    const MatrixReg &mb = p_.mregs_[p_.check(b)];
+    for (unsigned r = 0; r < p_.vl_; ++r)
+        emu::accMac(ac, ma[r], mb[r], w_);
+
+    InstRecord rec;
+    rec.op = Opcode::VMACC;
+    rec.ew = ElemWidth::W16;
+    rec.dst = accReg(acc.idx);
+    rec.src0 = simdReg(a.idx);
+    rec.src1 = simdReg(b.idx);
+    rec.vl = p_.vl_;
+    p_.emit(rec);
+}
+
+void
+Vmmx::vadda(AR acc, VR a)
+{
+    emu::Accum &ac = p_.accs_[p_.check(acc)];
+    const MatrixReg &ma = p_.mregs_[p_.check(a)];
+    for (unsigned r = 0; r < p_.vl_; ++r)
+        emu::accAdd(ac, ma[r], w_);
+
+    InstRecord rec;
+    rec.op = Opcode::VADDA;
+    rec.ew = ElemWidth::W16;
+    rec.dst = accReg(acc.idx);
+    rec.src0 = simdReg(a.idx);
+    rec.vl = p_.vl_;
+    p_.emit(rec);
+}
+
+void
+Vmmx::accsum(SReg d, AR a)
+{
+    p_.intRegs_[p_.check(d)] = u64(emu::accSum(p_.accs_[p_.check(a)], w_));
+
+    InstRecord rec;
+    rec.op = Opcode::VACCSUM;
+    rec.dst = intReg(d.idx);
+    rec.src0 = accReg(a.idx);
+    p_.emit(rec);
+}
+
+void
+Vmmx::accpack(VR d, unsigned row, AR a, unsigned shift)
+{
+    vmmx_assert(row < maxMatrixRows, "accpack row out of range");
+    p_.mregs_[p_.check(d)][row] =
+        emu::accPack(p_.accs_[p_.check(a)], w_, shift);
+
+    InstRecord rec;
+    rec.op = Opcode::VACCPACK;
+    rec.ew = ElemWidth::W16;
+    rec.dst = simdReg(d.idx);
+    rec.src0 = accReg(a.idx);
+    p_.emit(rec);
+}
+
+} // namespace vmmx

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * 2-D (matrix / MOM) SIMD engine for the VMMX64 / VMMX128 flavours.
+ *
+ * A matrix register holds up to 16 rows of one packed word each; all
+ * arithmetic is row-wise over the active vector length (setvl).  Memory
+ * operations support unit-stride and strided access, the key mechanism
+ * that lets matrix registers ingest the non-contiguous sub-blocks of
+ * images and video frames without reorganisation instructions.  Packed
+ * accumulators provide overflow-free reductions (SAD, multiply-
+ * accumulate) across rows.
+ */
+
+#ifndef VMMX_TRACE_VMMX_HH
+#define VMMX_TRACE_VMMX_HH
+
+#include "emu/packed.hh"
+#include "trace/program.hh"
+
+namespace vmmx
+{
+
+class Vmmx
+{
+  public:
+    explicit Vmmx(Program &p);
+
+    unsigned width() const { return w_; }
+    u16 vl() const { return p_.vl_; }
+
+    /** Set the active vector length (1..16 rows). */
+    void setvl(u16 rows);
+
+    // ---- memory ----
+    /** Strided matrix load: rows at val(base)+disp + r*val(stride). */
+    void load(VR d, SReg base, s64 disp, SReg stride);
+    /** Unit-stride matrix load (stride == row width). */
+    void loadU(VR d, SReg base, s64 disp);
+    void store(VR s, SReg base, s64 disp, SReg stride);
+    void storeU(VR s, SReg base, s64 disp);
+    /**
+     * Partial movement (the scaled-MOM instructions analogous to
+     * SSE2/SSE3 partial loads): transfer @p nrows rows starting at
+     * register row @p row0, leaving other rows intact.
+     */
+    void loadPartial(VR d, unsigned row0, unsigned nrows, SReg base,
+                     s64 disp, SReg stride);
+    void storePartial(VR s, unsigned row0, unsigned nrows, SReg base,
+                      s64 disp, SReg stride);
+    /**
+     * Byte-partial row transfers (scaled-MOM partial movement): move only
+     * the low 8 bytes of each active row.  Lets 8-pixel-wide structures
+     * live in the 128-bit flavour without clobbering neighbours.
+     */
+    void loadHalf(VR d, SReg base, s64 disp, SReg stride);
+    void storeHalf(VR s, SReg base, s64 disp, SReg stride);
+
+    // ---- row-wise arithmetic (same repertoire as the 1-D engine) ----
+    void padd(VR d, VR a, VR b, ElemWidth ew);
+    void padds(VR d, VR a, VR b, ElemWidth ew, bool isSigned);
+    void psub(VR d, VR a, VR b, ElemWidth ew);
+    void psubs(VR d, VR a, VR b, ElemWidth ew, bool isSigned);
+    void pmull(VR d, VR a, VR b, ElemWidth ew);
+    void pmulh(VR d, VR a, VR b, ElemWidth ew);
+    void pmadd(VR d, VR a, VR b);
+    void pavg(VR d, VR a, VR b, ElemWidth ew);
+    void pmin(VR d, VR a, VR b, ElemWidth ew, bool isSigned);
+    void pmax(VR d, VR a, VR b, ElemWidth ew, bool isSigned);
+    void pand(VR d, VR a, VR b);
+    void por(VR d, VR a, VR b);
+    void pxor(VR d, VR a, VR b);
+    void pslli(VR d, VR a, unsigned sh, ElemWidth ew);
+    void psrli(VR d, VR a, unsigned sh, ElemWidth ew);
+    void psrai(VR d, VR a, unsigned sh, ElemWidth ew);
+    void packs(VR d, VR a, VR b, ElemWidth srcEw);
+    void packus(VR d, VR a, VR b, ElemWidth srcEw);
+    void unpckl(VR d, VR a, VR b, ElemWidth ew);
+    void unpckh(VR d, VR a, VR b, ElemWidth ew);
+
+    /** Broadcast a scalar into every element of every active row. */
+    void vsplat(VR d, SReg s, ElemWidth ew);
+    /** Zero the full register. */
+    void vzero(VR d);
+
+    /**
+     * In-register transpose of the square s16 matrix held in the top
+     * dim x dim elements, dim = row width in 16-bit columns (4 for
+     * VMMX64, 8 for VMMX128).  Occupies the lane-exchange network for
+     * dim cycles.
+     */
+    void vtransp(VR d, VR s);
+
+    // ---- packed accumulators ----
+    void accclr(AR a);
+    /** acc += row-wise SAD of unsigned bytes (per 16-bit column pair). */
+    void vsada(AR acc, VR a, VR b);
+    /** acc += row-wise products of signed 16-bit columns. */
+    void vmacc(AR acc, VR a, VR b);
+    /** acc += sign-extended 16-bit columns of a. */
+    void vadda(AR acc, VR a);
+    /** Reduce all accumulator lanes into a scalar register. */
+    void accsum(SReg d, AR a);
+    /** Saturate (lanes >> shift) into row @p row of matrix register d. */
+    void accpack(VR d, unsigned row, AR a, unsigned shift);
+
+  private:
+    void binOp(Opcode op, VR d, VR a, VR b, ElemWidth ew,
+               const std::function<VWord(const VWord &, const VWord &)> &fn);
+    void memOp(Opcode op, VR reg, SReg base, s64 disp, s64 stride,
+               unsigned row0, unsigned nrows, bool isStore, SReg strideReg,
+               unsigned bytesPerRow = 0);
+
+    Program &p_;
+    unsigned w_;
+};
+
+} // namespace vmmx
+
+#endif // VMMX_TRACE_VMMX_HH

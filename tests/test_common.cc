@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the common substrate: Config, stats, MemImage,
+ * saturating helpers, the RNG, and the cost model.
+ */
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "common/config.hh"
+#include "common/memimage.hh"
+#include "common/rng.hh"
+#include "common/saturate.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "cost/rf_model.hh"
+
+namespace vmmx
+{
+namespace
+{
+
+TEST(Config, TypedAccessAndDefaults)
+{
+    Config c({"a=5", "b=true", "c=hello", "d=2.5"});
+    EXPECT_EQ(c.getInt("a"), 5);
+    EXPECT_TRUE(c.getBool("b"));
+    EXPECT_EQ(c.getString("c"), "hello");
+    EXPECT_DOUBLE_EQ(c.getDouble("d"), 2.5);
+    EXPECT_EQ(c.getInt("missing", 7), 7);
+    EXPECT_FALSE(c.has("missing"));
+}
+
+TEST(Config, MergeOverrides)
+{
+    Config a({"x=1", "y=2"});
+    Config b({"y=3", "z=4"});
+    a.merge(b);
+    EXPECT_EQ(a.getInt("x"), 1);
+    EXPECT_EQ(a.getInt("y"), 3);
+    EXPECT_EQ(a.getInt("z"), 4);
+}
+
+TEST(Stats, CountersAndFormulas)
+{
+    StatGroup g("test");
+    Counter c(&g, "events", "event count");
+    Formula f(&g, "double_events", "2x events",
+              [&]() { return 2.0 * double(c.value()); });
+    ++c;
+    c += 4;
+    EXPECT_EQ(c.value(), 5u);
+    EXPECT_DOUBLE_EQ(f.value(), 10.0);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("test.events 5"), std::string::npos);
+}
+
+TEST(Stats, HistogramBuckets)
+{
+    Histogram h(nullptr, "h", "test", 0, 100, 10);
+    h.sample(5);
+    h.sample(95);
+    h.sample(200); // overflow
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.maxSample(), 200u);
+}
+
+TEST(MemImage, ReadWriteRoundTrip)
+{
+    MemImage mem(4096);
+    Addr a = mem.alloc(64, 16);
+    EXPECT_EQ(a % 16, 0u);
+    mem.write64(a, 0x1122334455667788ull);
+    EXPECT_EQ(mem.read64(a), 0x1122334455667788ull);
+    EXPECT_EQ(mem.read8(a), 0x88); // little-endian
+    EXPECT_EQ(mem.read16(a + 6), 0x1122);
+    mem.write16(a + 2, 0xbeef);
+    EXPECT_EQ(mem.read32(a), 0xbeef7788u);
+}
+
+TEST(MemImage, AllocationsDontOverlap)
+{
+    MemImage mem(1 << 16);
+    Addr a = mem.alloc(100);
+    Addr b = mem.alloc(100);
+    EXPECT_GE(b, a + 100);
+}
+
+TEST(Saturate, Helpers)
+{
+    EXPECT_EQ(satAddU8(200, 100), 255);
+    EXPECT_EQ(satSubU8(10, 20), 0);
+    EXPECT_EQ(satAddS16(30000, 10000), 32767);
+    EXPECT_EQ(satSubS16(-30000, 10000), -32768);
+    EXPECT_EQ(absDiffU8(3, 250), 247);
+    EXPECT_EQ(avgU8(1, 2), 2); // rounds up
+    EXPECT_EQ(asr(-7, 1), -4); // arithmetic, floors
+    EXPECT_EQ(asr64(-1, 20), -1);
+}
+
+TEST(Rng, DeterministicAndRanged)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        s64 v = r.range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Table, AlignsColumns)
+{
+    TextTable t({"a", "long_header"});
+    t.addRow({"xxxxx", "1"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("long_header"), std::string::npos);
+    EXPECT_NE(os.str().find("xxxxx"), std::string::npos);
+}
+
+TEST(RfModel, StorageMatchesTable1)
+{
+    // Storage KB is exact arithmetic (decimal KB as the paper uses).
+    EXPECT_NEAR(RfDesign::forMachine(SimdKind::MMX64, 4).storageKB(),
+                0.512, 1e-9);
+    EXPECT_NEAR(RfDesign::forMachine(SimdKind::MMX128, 4).storageKB(),
+                1.024, 1e-9);
+    EXPECT_NEAR(RfDesign::forMachine(SimdKind::VMMX64, 4).storageKB(),
+                4.608, 1e-9);
+    EXPECT_NEAR(RfDesign::forMachine(SimdKind::VMMX128, 8).storageKB(),
+                16.384, 1e-9);
+}
+
+TEST(RfModel, AreaTrendsMatchPaper)
+{
+    auto area = [](SimdKind k, unsigned w) {
+        return normalizedArea(RfDesign::forMachine(k, w));
+    };
+    // Doubling the width doubles a centralized file's area.
+    EXPECT_NEAR(area(SimdKind::MMX128, 4), 2 * area(SimdKind::MMX64, 4),
+                1e-9);
+    // The banked matrix file scales far more gently than the
+    // centralized one: 8-way VMMX128 must undercut 8-way MMX128.
+    EXPECT_LT(area(SimdKind::VMMX128, 8), area(SimdKind::MMX128, 8));
+    // And the port explosion dominates the 8-way MMX designs.
+    EXPECT_GT(area(SimdKind::MMX64, 8), 4 * area(SimdKind::MMX64, 4));
+}
+
+TEST(RfModel, MatrixStorageExceedsMmx)
+{
+    for (unsigned way : {4u, 8u}) {
+        EXPECT_GT(RfDesign::forMachine(SimdKind::VMMX64, way).storageKB(),
+                  RfDesign::forMachine(SimdKind::MMX128, way).storageKB());
+    }
+}
+
+} // namespace
+} // namespace vmmx

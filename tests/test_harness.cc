@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Harness tests: machine construction matches Table III/IV, config
+ * overrides reach the models, and timing responds sanely to the knobs
+ * across a parameterised (flavour x width) sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "kernels/kernel.hh"
+
+namespace vmmx
+{
+namespace
+{
+
+struct MachineCase
+{
+    SimdKind kind;
+    unsigned way;
+};
+
+class MachineSweep
+    : public testing::TestWithParam<std::tuple<int, unsigned>>
+{
+  protected:
+    SimdKind kind() const { return SimdKind(std::get<0>(GetParam())); }
+    unsigned way() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(MachineSweep, TableIIIParameters)
+{
+    auto m = makeMachine(kind(), way());
+    unsigned idx = way() == 2 ? 0 : way() == 4 ? 1 : 2;
+
+    EXPECT_EQ(m.core.way, way());
+    EXPECT_EQ(m.core.intFus, way());
+    if (isMatrix(kind())) {
+        static const unsigned issue[3] = {1, 2, 3};
+        static const unsigned phys[3] = {20, 36, 64};
+        static const unsigned ports[3] = {1, 1, 2};
+        static const u32 vec[3] = {8, 16, 32};
+        EXPECT_EQ(m.core.simdIssue, issue[idx]);
+        EXPECT_EQ(m.core.simdFus, issue[idx]);
+        EXPECT_EQ(m.core.lanesPerFu, 4u);
+        EXPECT_EQ(m.core.physSimd, phys[idx]);
+        EXPECT_EQ(m.core.logicalSimd, 16u);
+        EXPECT_EQ(m.mem.l1Ports, ports[idx]);
+        EXPECT_EQ(m.mem.vecPortBytes, vec[idx]);
+    } else {
+        static const unsigned phys[3] = {40, 64, 96};
+        static const unsigned ports[3] = {1, 2, 4};
+        EXPECT_EQ(m.core.simdIssue, way());
+        EXPECT_EQ(m.core.simdFus, way());
+        EXPECT_EQ(m.core.lanesPerFu, 1u);
+        EXPECT_EQ(m.core.physSimd, phys[idx]);
+        EXPECT_EQ(m.core.logicalSimd, 32u);
+        EXPECT_EQ(m.mem.l1Ports, ports[idx]);
+    }
+    // Table IV.
+    EXPECT_EQ(m.mem.l1.sizeBytes, 32u * 1024);
+    EXPECT_EQ(m.mem.l1.latency, 3u);
+    EXPECT_EQ(m.mem.l2.sizeBytes, 512u * 1024);
+    EXPECT_EQ(m.mem.l2.latency, 12u);
+    EXPECT_EQ(m.mem.memLatency, 500u);
+}
+
+TEST_P(MachineSweep, KernelRunsAndScales)
+{
+    auto trace = [&]() {
+        auto k = makeKernel("addblock");
+        MemImage mem(16u << 20);
+        Rng rng(3);
+        k->prepare(mem, rng);
+        Program p(mem, kind());
+        k->emit(p);
+        return p.takeTrace();
+    }();
+    auto r = runTrace(makeMachine(kind(), way()), trace);
+    EXPECT_EQ(r.core.instructions, trace.size());
+    EXPECT_GT(r.cycles(), 0u);
+    if (way() > 2) {
+        auto narrow = runTrace(makeMachine(kind(), 2), trace);
+        EXPECT_LE(r.cycles(), narrow.cycles());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMachines, MachineSweep,
+    testing::Combine(testing::Values(0, 1, 2, 3),
+                     testing::Values(2u, 4u, 8u)),
+    [](const auto &info) {
+        return name(SimdKind(std::get<0>(info.param))) + "_" +
+               std::to_string(std::get<1>(info.param)) + "way";
+    });
+
+TEST(Overrides, MemoryLatencyReachesTheModel)
+{
+    auto k = makeKernel("h2v2");
+    MemImage mem(16u << 20);
+    Rng rng(4);
+    k->prepare(mem, rng);
+    Program p(mem, SimdKind::MMX64);
+    k->emit(p);
+
+    Config slow;
+    slow.set("mem.latency", s64(2000));
+    auto fast = runTrace(makeMachine(SimdKind::MMX64, 2), p.trace());
+    auto slower =
+        runTrace(makeMachine(SimdKind::MMX64, 2, slow), p.trace());
+    EXPECT_GT(slower.cycles(), fast.cycles());
+}
+
+TEST(Overrides, BadWidthIsRejected)
+{
+    EXPECT_EXIT(makeMachine(SimdKind::MMX64, 3),
+                testing::ExitedWithCode(1), "unsupported");
+}
+
+TEST(Regions, KernelCyclesAttributedToVector)
+{
+    auto k = makeKernel("ycc");
+    MemImage mem(16u << 20);
+    Rng rng(5);
+    k->prepare(mem, rng);
+    Program p(mem, SimdKind::MMX64);
+    k->emit(p);
+    auto r = runTrace(makeMachine(SimdKind::MMX64, 2), p.trace());
+    // An isolated kernel is one big vector region.
+    EXPECT_GT(r.core.vectorCycles, 9 * r.core.scalarCycles);
+    EXPECT_EQ(r.core.vectorCycles + r.core.scalarCycles, r.cycles());
+}
+
+} // namespace
+} // namespace vmmx

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * End-to-end smoke: build a tiny program, run it on every machine, and
+ * check basic sanity of the timing results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "trace/mmx.hh"
+#include "trace/program.hh"
+
+namespace vmmx
+{
+namespace
+{
+
+TEST(Smoke, ScalarLoopRuns)
+{
+    MemImage mem(1 << 20);
+    Program p(mem, SimdKind::MMX64);
+    Addr buf = mem.alloc(1024);
+
+    SReg acc = p.sreg();
+    SReg addr = p.sreg();
+    p.li(acc, 0);
+    p.li(addr, buf);
+    p.forLoop(100, [&](SReg i) {
+        p.add(acc, acc, i);
+        p.store(acc, addr, 0, 8);
+    });
+
+    EXPECT_EQ(p.val(acc), 99 * 100 / 2);
+    EXPECT_EQ(mem.read64(buf), u64(99 * 100 / 2));
+
+    auto machine = makeMachine(SimdKind::MMX64, 2);
+    RunResult r = runTrace(machine, p.trace());
+    EXPECT_GT(r.cycles(), 100u);
+    EXPECT_EQ(r.core.instructions, p.trace().size());
+}
+
+TEST(Smoke, WiderMachineIsNotSlower)
+{
+    MemImage mem(1 << 20);
+    Program p(mem, SimdKind::MMX64);
+    Addr buf = mem.alloc(4096);
+
+    SReg a = p.sreg();
+    SReg b = p.sreg();
+    SReg addr = p.sreg();
+    p.li(addr, buf);
+    p.li(b, 1);
+    p.forLoop(200, [&](SReg i) {
+        p.slli(a, i, 3);
+        p.add(a, a, addr);
+        p.store(b, a, 0, 8);
+        p.load(a, a, 0, 8);
+        p.add(b, b, a);
+    });
+
+    Cycle c2 = runTrace(makeMachine(SimdKind::MMX64, 2), p.trace()).cycles();
+    Cycle c8 = runTrace(makeMachine(SimdKind::MMX64, 8), p.trace()).cycles();
+    EXPECT_LE(c8, c2);
+}
+
+} // namespace
+} // namespace vmmx
