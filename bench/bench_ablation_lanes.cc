@@ -19,7 +19,7 @@ main()
                      "8 lanes"});
     for (const std::string kn :
          {"idct", "motion1", "motion2", "ycc", "h2v2"}) {
-        auto trace = kernelTrace(kn, SimdKind::VMMX128);
+        const auto &trace = kernelTrace(kn, SimdKind::VMMX128);
         std::vector<std::string> row = {kn};
         for (u64 lanes : {1, 2, 4, 8}) {
             Config cfg;

@@ -21,7 +21,7 @@ main()
                      "strided 16B/cyc"});
     for (const std::string kn :
          {"motion1", "idct", "ycc", "h2v2", "ltppar"}) {
-        auto trace = kernelTrace(kn, SimdKind::VMMX128);
+        const auto &trace = kernelTrace(kn, SimdKind::VMMX128);
         std::vector<std::string> row = {kn};
         for (u64 port : {8, 16, 32}) {
             Config cfg;

@@ -2,7 +2,12 @@
  * @file
  * Figure 4: kernel speed-up of the four SIMD flavours on the 2-way
  * machine, normalised to 2-way MMX64 (the paper's baseline).
+ *
+ * The (kernel x flavour) grid runs through the parallel sweep engine;
+ * results come back in submission order, so rows are assembled by index.
  */
+
+#include <map>
 
 #include "bench_util.hh"
 
@@ -31,16 +36,22 @@ main()
     std::cout << "Figure 4: kernel speed-up over the 2-way MMX64 baseline "
                  "(2-way machines)\n\n";
 
+    const auto kernels = kernelNames();
+    const std::vector<SimdKind> kinds(allSimdKinds.begin(),
+                                      allSimdKinds.end());
+    Sweep sweep;
+    sweep.addKernelGrid(kernels, kinds, {2});
+    auto results = sweep.run();
+
     TextTable table({"kernel", "mmx64", "mmx128", "vmmx64", "vmmx128",
                      "paper mmx128", "paper vmmx64", "paper vmmx128"});
 
-    for (const auto &kn : kernelNames()) {
+    for (size_t ki = 0; ki < kernels.size(); ++ki) {
         std::array<double, 4> cycles{};
-        for (auto kind : allSimdKinds) {
-            auto t = time(kernelTrace(kn, kind), kind, 2);
-            cycles[size_t(kind)] = double(t.result.cycles());
-        }
+        for (size_t f = 0; f < kinds.size(); ++f)
+            cycles[f] = double(results[ki * kinds.size() + f].cycles());
         double base = cycles[size_t(SimdKind::MMX64)];
+        const auto &kn = kernels[ki];
         auto ref = paperRef.count(kn) ? paperRef.at(kn)
                                       : std::array<double, 3>{0, 0, 0};
         table.addRow({kn, TextTable::num(1.0),

@@ -2,6 +2,10 @@
  * @file
  * Figure 5: full-application speed-up for 2/4/8-way machines, all four
  * SIMD flavours, normalised to the 2-way MMX64 run of the same app.
+ *
+ * The whole (app x flavour x width) grid is submitted as one parallel
+ * sweep: each app trace is generated once (trace cache) and the 12
+ * machine runs per app proceed concurrently.
  */
 
 #include <cmath>
@@ -18,41 +22,50 @@ main()
     std::cout << "Figure 5: full-application speed-up over the 2-way "
                  "MMX64 baseline\n\n";
 
-    TraceCache cache;
-    std::array<std::array<double, 4>, 3> geoSum{};
-    const unsigned ways[3] = {2, 4, 8};
+    const auto apps = appNames();
+    const std::vector<SimdKind> kinds(allSimdKinds.begin(),
+                                      allSimdKinds.end());
+    const std::vector<unsigned> ways = {2, 4, 8};
 
-    for (const auto &an : appNames()) {
+    // Submission order: app-major, then kind, then way.
+    Sweep sweep;
+    sweep.addAppGrid(apps, kinds, ways);
+    auto results = sweep.run();
+
+    auto cyclesAt = [&](size_t app, size_t kind, size_t way) {
+        return double(
+            results[(app * kinds.size() + kind) * ways.size() + way]
+                .cycles());
+    };
+
+    std::array<std::array<double, 4>, 3> geoSum{};
+    for (size_t ai = 0; ai < apps.size(); ++ai) {
         TextTable table({"config", "mmx64", "mmx128", "vmmx64",
                          "vmmx128"});
-        double base = 0;
-        for (unsigned wi = 0; wi < 3; ++wi) {
+        double base = cyclesAt(ai, size_t(SimdKind::MMX64), 0);
+        for (size_t wi = 0; wi < ways.size(); ++wi) {
             std::vector<std::string> row = {std::to_string(ways[wi]) +
                                             "-way"};
-            for (auto kind : allSimdKinds) {
-                auto t = time(cache.app(an, kind), kind, ways[wi]);
-                double c = double(t.result.cycles());
-                if (wi == 0 && kind == SimdKind::MMX64)
-                    base = c;
-                double sp = base / c;
-                geoSum[wi][size_t(kind)] += std::log(sp);
+            for (size_t f = 0; f < kinds.size(); ++f) {
+                double sp = base / cyclesAt(ai, f, wi);
+                geoSum[wi][f] += std::log(sp);
                 row.push_back(TextTable::num(sp));
             }
             table.addRow(std::move(row));
         }
-        std::cout << an << ":\n";
+        std::cout << apps[ai] << ":\n";
         table.print(std::cout);
         std::cout << '\n';
     }
 
     std::cout << "average (geometric mean over the six applications):\n";
     TextTable avg({"config", "mmx64", "mmx128", "vmmx64", "vmmx128"});
-    for (unsigned wi = 0; wi < 3; ++wi) {
+    for (size_t wi = 0; wi < ways.size(); ++wi) {
         std::vector<std::string> row = {std::to_string(ways[wi]) +
                                         "-way"};
         for (auto kind : allSimdKinds)
             row.push_back(TextTable::num(
-                std::exp(geoSum[wi][size_t(kind)] / 6.0)));
+                std::exp(geoSum[wi][size_t(kind)] / double(apps.size()))));
         avg.addRow(std::move(row));
     }
     avg.print(std::cout);

@@ -16,14 +16,13 @@ main()
     std::cout << "Figure 6: cycle count distribution, jpegdec "
                  "(normalised to 2-way mmx64 = 100)\n\n";
 
-    TraceCache cache;
     double base = 0;
 
     TextTable table({"config", "scalar", "vector", "total",
                      "vector %"});
     for (unsigned way : {2u, 4u, 8u}) {
         for (auto kind : allSimdKinds) {
-            auto t = time(cache.app("jpegdec", kind), kind, way);
+            auto t = time(appTrace("jpegdec", kind), kind, way);
             double sc = double(t.result.core.scalarCycles);
             double vc = double(t.result.core.vectorCycles);
             if (way == 2 && kind == SimdKind::MMX64)

@@ -24,7 +24,7 @@ main()
                          "varith", "total"});
         double base = 0;
         for (auto kind : allSimdKinds) {
-            auto trace = appTrace(an, kind);
+            const auto &trace = appTrace(an, kind);
             std::array<u64, numInstClasses> byClass{};
             for (const auto &inst : trace)
                 ++byClass[size_t(inst.cls())];

@@ -1,7 +1,9 @@
 /**
  * @file
- * google-benchmark timing of the simulator itself (instructions
- * simulated per second across flavours and widths).
+ * google-benchmark timing of the simulator itself: instructions
+ * simulated per second across flavours and widths, trace-generation
+ * cost, and the sweep engine's serial vs threaded throughput on a
+ * fig5-style grid.
  */
 
 #include <benchmark/benchmark.h>
@@ -20,7 +22,7 @@ BM_SimulateKernel(benchmark::State &state)
     setQuiet(true);
     SimdKind kind = SimdKind(state.range(0));
     unsigned way = unsigned(state.range(1));
-    auto trace = kernelTrace("idct", kind);
+    const auto &trace = kernelTrace("idct", kind);
     auto machine = makeMachine(kind, way);
 
     u64 insts = 0;
@@ -40,12 +42,62 @@ BM_TraceGeneration(benchmark::State &state)
     SimdKind kind = SimdKind(state.range(0));
     u64 insts = 0;
     for (auto _ : state) {
-        auto trace = kernelTrace("motion1", kind);
+        // Bypass the cache on purpose: this measures generation itself.
+        auto k = makeKernel("motion1");
+        MemImage mem(16u << 20);
+        Rng rng(0xbeef);
+        k->prepare(mem, rng);
+        Program p(mem, kind);
+        k->emit(p);
+        auto trace = p.takeTrace();
         benchmark::DoNotOptimize(trace.data());
         insts += trace.size();
     }
     state.counters["insts/s"] = benchmark::Counter(
         double(insts), benchmark::Counter::kIsRate);
+}
+
+/** A 16-point fig5-style grid: four kernels x four flavours, 2-way. */
+Sweep
+makeGrid(unsigned threads)
+{
+    SweepOptions opts;
+    opts.threads = threads;
+    Sweep sweep(opts);
+    const std::vector<SimdKind> kinds(allSimdKinds.begin(),
+                                      allSimdKinds.end());
+    sweep.addKernelGrid({"idct", "motion1", "rgb", "h2v2"}, kinds, {2});
+    return sweep;
+}
+
+void
+BM_SweepSerial(benchmark::State &state)
+{
+    setQuiet(true);
+    Sweep sweep = makeGrid(1);
+    u64 points = 0;
+    for (auto _ : state) {
+        auto results = sweep.runSerial();
+        benchmark::DoNotOptimize(results.data());
+        points += results.size();
+    }
+    state.counters["points/s"] = benchmark::Counter(
+        double(points), benchmark::Counter::kIsRate);
+}
+
+void
+BM_SweepThreaded(benchmark::State &state)
+{
+    setQuiet(true);
+    Sweep sweep = makeGrid(unsigned(state.range(0)));
+    u64 points = 0;
+    for (auto _ : state) {
+        auto results = sweep.run();
+        benchmark::DoNotOptimize(results.data());
+        points += results.size();
+    }
+    state.counters["points/s"] = benchmark::Counter(
+        double(points), benchmark::Counter::kIsRate);
 }
 
 } // namespace
@@ -59,5 +111,8 @@ BENCHMARK(BM_SimulateKernel)
 BENCHMARK(BM_TraceGeneration)
     ->Arg(int(SimdKind::MMX64))
     ->Arg(int(SimdKind::VMMX128));
+
+BENCHMARK(BM_SweepSerial);
+BENCHMARK(BM_SweepThreaded)->Arg(2)->Arg(4);
 
 BENCHMARK_MAIN();

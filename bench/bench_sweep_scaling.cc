@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Sweep-engine scaling microbench: a fig5-style grid of
+ * (kernel x flavour x width) points timed three ways --
+ *
+ *   serial/uncached : the pre-sweep-engine path (regenerate the trace at
+ *                     every point, run points one by one);
+ *   serial/cached   : the sweep engine pinned to one thread (trace cache
+ *                     active, no thread pool);
+ *   sweep/4-thread  : the full engine with four workers.
+ *
+ * Every variant must produce bit-identical RunResults; the bench exits
+ * nonzero on any mismatch.  The headline number is the wall-clock
+ * speedup of the 4-thread sweep over the serial/uncached baseline,
+ * reported as the best of three repetitions after a warm-up pass.
+ */
+
+#include <algorithm>
+#include <chrono>
+
+#include "bench_util.hh"
+
+using namespace vmmx;
+using namespace vmmx::bench;
+
+namespace
+{
+
+/** The seed-era serial path: fresh trace generation at every point. */
+std::vector<SweepResult>
+runSerialUncached(const std::vector<SweepPoint> &points)
+{
+    std::vector<SweepResult> out;
+    out.reserve(points.size());
+    for (const auto &pt : points) {
+        auto k = makeKernel(pt.name);
+        MemImage mem(TraceCache::kernelImageBytes);
+        Rng rng(TraceCache::defaultSeed);
+        k->prepare(mem, rng);
+        Program p(mem, pt.kind);
+        k->emit(p);
+        auto trace = p.takeTrace();
+
+        SweepResult r;
+        r.point = pt;
+        r.traceLength = trace.size();
+        r.result = runTrace(makeMachine(pt.kind, pt.way, pt.overrides),
+                            trace);
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+
+    // 6 kernels x 4 flavours x 3 widths = 72 points, 24 distinct traces.
+    // The motion/GSM/block kernels have short dynamic traces, so the grid
+    // is dominated by trace generation -- exactly the regime the shared
+    // cache is for (the long-trace kernels are covered by fig4/fig5).
+    const std::vector<std::string> kernels = {"motion1", "motion2", "comp",
+                                              "addblock", "ltppar",
+                                              "ltpfilt"};
+    const std::vector<SimdKind> kinds(allSimdKinds.begin(),
+                                      allSimdKinds.end());
+    const std::vector<unsigned> ways = {2, 4, 8};
+
+    SweepOptions serialOpts;
+    serialOpts.threads = 1;
+    SweepOptions poolOpts;
+    poolOpts.threads = 4;
+
+    Sweep serialSweep(serialOpts);
+    serialSweep.addKernelGrid(kernels, kinds, ways);
+    Sweep poolSweep(poolOpts);
+    poolSweep.addKernelGrid(kernels, kinds, ways);
+
+    std::cout << "sweep scaling: " << serialSweep.size()
+              << " (kernel, flavour, width) points, "
+              << kernels.size() * kinds.size() << " distinct traces\n\n";
+
+    using clock = std::chrono::steady_clock;
+    constexpr int reps = 3;
+
+    // Warm up: fault in the allocator and populate the trace cache so
+    // every variant is timed at steady state (min of three reps).
+    auto pooled = poolSweep.run();
+
+    double tBase = 1e9, tCached = 1e9, tPooled = 1e9;
+    std::vector<SweepResult> baseline, cached;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = clock::now();
+        baseline = runSerialUncached(serialSweep.points());
+        auto t1 = clock::now();
+        cached = serialSweep.run(); // 1 thread: cache only
+        auto t2 = clock::now();
+        pooled = poolSweep.run(); // 4 threads + cache
+        auto t3 = clock::now();
+        tBase = std::min(tBase, seconds(t0, t1));
+        tCached = std::min(tCached, seconds(t1, t2));
+        tPooled = std::min(tPooled, seconds(t2, t3));
+    }
+
+    bool identical = true;
+    for (size_t i = 0; i < baseline.size(); ++i) {
+        if (!baseline[i].sameRun(cached[i]) ||
+            !baseline[i].sameRun(pooled[i])) {
+            identical = false;
+            std::cout << "MISMATCH at point " << i << " ("
+                      << baseline[i].point.label() << ")\n";
+        }
+    }
+
+    TextTable table({"variant", "wall s", "speedup"});
+    table.addRow({"serial/uncached", TextTable::num(tBase, 3),
+                  TextTable::num(1.0)});
+    table.addRow({"serial/cached", TextTable::num(tCached, 3),
+                  TextTable::num(tBase / tCached)});
+    table.addRow({"sweep/4-thread", TextTable::num(tPooled, 3),
+                  TextTable::num(tBase / tPooled)});
+    table.print(std::cout);
+
+    auto &cache = TraceCache::instance();
+    std::cout << "\ntrace cache: " << cache.generations()
+              << " generations, " << cache.hits() << " hits\n";
+    std::cout << "results bit-identical across variants: "
+              << (identical ? "yes" : "NO") << '\n';
+
+    double speedup = tBase / tPooled;
+    std::cout << "4-thread sweep speedup vs serial/uncached: "
+              << TextTable::num(speedup) << "x ("
+              << (speedup >= 2.0 ? "PASS" : "below 2x on this host")
+              << ")\n";
+
+    return identical ? 0 : 1;
+}

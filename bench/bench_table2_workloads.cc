@@ -23,7 +23,7 @@ main()
         std::array<u64, 4> total{};
         std::array<u64, 4> vec{};
         for (auto kind : {SimdKind::MMX64, SimdKind::VMMX128}) {
-            auto trace = kernelTrace(kn, kind);
+            const auto &trace = kernelTrace(kn, kind);
             for (const auto &inst : trace) {
                 ++total[size_t(kind)];
                 if (inst.isVector())

@@ -3,18 +3,25 @@
  * Shared plumbing for the table/figure reproduction binaries: build a
  * kernel or app trace for a flavour and time it on a Table III/IV
  * machine.
+ *
+ * Traces are resolved through the process-wide vmmx::TraceCache, so a
+ * bench that touches the same (workload, flavour) many times -- every
+ * multi-way sweep does -- generates each trace exactly once.  All
+ * helpers here are safe to call from sweep worker threads: the cache is
+ * internally locked, machine construction is pure, and setQuiet() is
+ * atomic.
  */
 
 #ifndef VMMX_BENCH_BENCH_UTIL_HH
 #define VMMX_BENCH_BENCH_UTIL_HH
 
 #include <iostream>
-#include <map>
 
 #include "apps/app.hh"
 #include "common/table.hh"
-#include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "kernels/kernel.hh"
+#include "trace/trace_cache.hh"
 
 namespace vmmx::bench
 {
@@ -26,28 +33,20 @@ struct TimedRun
     std::array<u64, numInstClasses> instByClass{};
 };
 
-inline std::vector<InstRecord>
+/** Kernel trace for (name, kind), memoized in the process-wide cache. */
+inline const std::vector<InstRecord> &
 kernelTrace(const std::string &kernel, SimdKind kind)
 {
-    auto k = makeKernel(kernel);
-    MemImage mem(16u << 20);
-    Rng rng(0xbeef);
-    k->prepare(mem, rng);
-    Program p(mem, kind);
-    k->emit(p);
-    return p.takeTrace();
+    // The cache retains the shared trace for the process lifetime, so the
+    // reference stays valid.
+    return *TraceCache::instance().kernel(kernel, kind);
 }
 
-inline std::vector<InstRecord>
+/** App trace for (name, kind), memoized in the process-wide cache. */
+inline const std::vector<InstRecord> &
 appTrace(const std::string &app, SimdKind kind)
 {
-    auto a = makeApp(app);
-    MemImage mem(32u << 20);
-    Rng rng(0xbeef);
-    a->prepare(mem, rng);
-    Program p(mem, kind);
-    a->emit(p);
-    return p.takeTrace();
+    return *TraceCache::instance().app(app, kind);
 }
 
 inline TimedRun
@@ -61,34 +60,6 @@ time(const std::vector<InstRecord> &trace, SimdKind kind, unsigned way,
     t.instByClass = t.result.core.instByClass;
     return t;
 }
-
-/** Cache of traces keyed by (name, kind) for multi-way sweeps. */
-class TraceCache
-{
-  public:
-    const std::vector<InstRecord> &
-    kernel(const std::string &name, SimdKind kind)
-    {
-        auto key = name + "/" + vmmx::name(kind);
-        auto it = cache_.find(key);
-        if (it == cache_.end())
-            it = cache_.emplace(key, kernelTrace(name, kind)).first;
-        return it->second;
-    }
-
-    const std::vector<InstRecord> &
-    app(const std::string &name, SimdKind kind)
-    {
-        auto key = "app:" + name + "/" + vmmx::name(kind);
-        auto it = cache_.find(key);
-        if (it == cache_.end())
-            it = cache_.emplace(key, appTrace(name, kind)).first;
-        return it->second;
-    }
-
-  private:
-    std::map<std::string, std::vector<InstRecord>> cache_;
-};
 
 } // namespace vmmx::bench
 

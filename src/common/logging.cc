@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,7 +9,9 @@ namespace vmmx
 
 namespace
 {
-bool quietFlag = false;
+/** Atomic so sweep worker threads and bench mains can race setQuiet()
+ *  against warn()/inform() without UB. */
+std::atomic<bool> quietFlag{false};
 
 void
 vreport(const char *tag, const char *fmt, va_list ap)
@@ -22,13 +25,13 @@ vreport(const char *tag, const char *fmt, va_list ap)
 void
 setQuiet(bool quiet)
 {
-    quietFlag = quiet;
+    quietFlag.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 quiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
 }
 
 void
@@ -54,7 +57,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quietFlag.load(std::memory_order_relaxed))
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -65,7 +68,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quietFlag.load(std::memory_order_relaxed))
         return;
     va_list ap;
     va_start(ap, fmt);

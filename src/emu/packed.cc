@@ -1,6 +1,7 @@
 #include "emu/packed.hh"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "common/logging.hh"
 #include "common/saturate.hh"
@@ -19,65 +20,132 @@ elems(ElemWidth ew, unsigned bytes)
     return bytes / elemBytes(ew);
 }
 
-s64
-getElem(const VWord &w, ElemWidth ew, unsigned i, bool isSigned)
+/**
+ * Width-specialized lane access.  The per-element switch on ElemWidth
+ * (and the signedness branch) is hoisted out of the element loops: each
+ * operation dispatches once and then runs a loop where lane extraction,
+ * insertion and saturation are compile-time specialised for the element
+ * type U (u8/u16/u32/u64).
+ */
+template <typename U>
+inline u64
+rawLane(const VWord &w, unsigned i)
 {
-    switch (ew) {
-      case ElemWidth::B8:
-        return isSigned ? s64(s8(w.byte(i))) : s64(w.byte(i));
-      case ElemWidth::W16:
-        return isSigned ? s64(w.sword(i)) : s64(w.word(i));
-      case ElemWidth::D32:
-        return isSigned ? s64(w.sdword(i)) : s64(w.dword(i));
-      case ElemWidth::Q64:
-        return s64(w.qword(i));
-    }
-    panic("bad element width");
+    if constexpr (sizeof(U) == 8)
+        return w.qword(i);
+    constexpr unsigned perQ = 8 / sizeof(U);
+    constexpr unsigned bits = 8 * sizeof(U);
+    u64 q = i < perQ ? w.lo : w.hi;
+    return U(q >> (bits * (i % perQ)));
 }
 
-void
-setElem(VWord &w, ElemWidth ew, unsigned i, s64 v)
+template <typename U>
+inline void
+setLane(VWord &w, unsigned i, u64 v)
 {
-    switch (ew) {
-      case ElemWidth::B8: w.setByte(i, u8(v)); return;
-      case ElemWidth::W16: w.setWord(i, u16(v)); return;
-      case ElemWidth::D32: w.setDword(i, u32(v)); return;
-      case ElemWidth::Q64: w.setQword(i, u64(v)); return;
+    if constexpr (sizeof(U) == 8) {
+        w.setQword(i, v);
+        return;
     }
-    panic("bad element width");
+    constexpr unsigned perQ = 8 / sizeof(U);
+    constexpr unsigned bits = 8 * sizeof(U);
+    u64 &q = i < perQ ? w.lo : w.hi;
+    unsigned sh = bits * (i % perQ);
+    q = (q & ~(u64(U(~U(0))) << sh)) | (u64(U(v)) << sh);
 }
 
-s64
-saturate(s64 v, ElemWidth ew, bool isSigned)
+template <typename U, bool Signed>
+inline s64
+lane(const VWord &w, unsigned i)
 {
-    switch (ew) {
-      case ElemWidth::B8:
-        return isSigned ? clampTo<s8>(v) : s64(u8(std::clamp<s64>(v, 0, 255)));
-      case ElemWidth::W16:
-        return isSigned ? clampTo<s16>(v)
-                        : s64(u16(std::clamp<s64>(v, 0, 65535)));
-      case ElemWidth::D32:
-        return isSigned ? clampTo<s32>(v)
-                        : s64(u32(std::clamp<s64>(v, 0, 0xffffffffll)));
-      case ElemWidth::Q64:
+    using S = std::make_signed_t<U>;
+    u64 raw = rawLane<U>(w, i);
+    if constexpr (sizeof(U) == 8)
+        return s64(raw); // 64-bit lanes carry the same bits either way
+    else if constexpr (Signed)
+        return s64(S(U(raw)));
+    else
+        return s64(raw);
+}
+
+/** Tag carrying the lane type through generic per-element lambdas. */
+template <typename U, bool Signed>
+struct LaneTag
+{
+};
+
+template <typename U, bool Signed>
+inline s64
+saturateT(s64 v)
+{
+    if constexpr (sizeof(U) == 8)
         return v;
-    }
-    panic("bad element width");
+    else if constexpr (Signed)
+        return clampTo<std::make_signed_t<U>>(v);
+    else
+        return s64(U(std::clamp<s64>(v, 0, s64(U(~U(0))))));
 }
 
+template <typename U, bool Signed>
+inline s64
+saturateT(LaneTag<U, Signed>, s64 v)
+{
+    return saturateT<U, Signed>(v);
+}
+
+template <typename U, bool Signed, typename Fn>
+VWord
+mapT(const VWord &a, const VWord &b, unsigned bytes, Fn fn)
+{
+    VWord out;
+    unsigned n = bytes / unsigned(sizeof(U));
+    for (unsigned i = 0; i < n; ++i) {
+        s64 x = lane<U, Signed>(a, i);
+        s64 y = lane<U, Signed>(b, i);
+        setLane<U>(out, i, u64(fn(x, y, LaneTag<U, Signed>{})));
+    }
+    return out;
+}
+
+/**
+ * Run @p fn once over the element loop specialised for (ew, isSigned).
+ * @p fn is called per element as fn(x, y, LaneTag<U, Signed>{}).
+ */
 template <typename Fn>
 VWord
 mapElems(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes,
          bool isSigned, Fn fn)
 {
-    VWord out;
-    unsigned n = elems(ew, bytes);
-    for (unsigned i = 0; i < n; ++i) {
-        s64 x = getElem(a, ew, i, isSigned);
-        s64 y = getElem(b, ew, i, isSigned);
-        setElem(out, ew, i, fn(x, y));
+    vmmx_assert(bytes == 8 || bytes == 16, "row must be 8 or 16 bytes");
+    switch (ew) {
+      case ElemWidth::B8:
+        return isSigned ? mapT<u8, true>(a, b, bytes, fn)
+                        : mapT<u8, false>(a, b, bytes, fn);
+      case ElemWidth::W16:
+        return isSigned ? mapT<u16, true>(a, b, bytes, fn)
+                        : mapT<u16, false>(a, b, bytes, fn);
+      case ElemWidth::D32:
+        return isSigned ? mapT<u32, true>(a, b, bytes, fn)
+                        : mapT<u32, false>(a, b, bytes, fn);
+      case ElemWidth::Q64:
+        return isSigned ? mapT<u64, true>(a, b, bytes, fn)
+                        : mapT<u64, false>(a, b, bytes, fn);
     }
-    return out;
+    panic("bad element width");
+}
+
+/** Dispatch a width-templated functor once: fn(LaneTag<U, false>{}). */
+template <typename Fn>
+VWord
+withWidth(ElemWidth ew, Fn fn)
+{
+    switch (ew) {
+      case ElemWidth::B8: return fn(LaneTag<u8, false>{});
+      case ElemWidth::W16: return fn(LaneTag<u16, false>{});
+      case ElemWidth::D32: return fn(LaneTag<u32, false>{});
+      case ElemWidth::Q64: return fn(LaneTag<u64, false>{});
+    }
+    panic("bad element width");
 }
 
 } // namespace
@@ -86,22 +154,22 @@ VWord
 padd(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes)
 {
     return mapElems(a, b, ew, bytes, false,
-                    [](s64 x, s64 y) { return x + y; });
+                    [](s64 x, s64 y, auto) { return x + y; });
 }
 
 VWord
 psub(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes)
 {
     return mapElems(a, b, ew, bytes, false,
-                    [](s64 x, s64 y) { return x - y; });
+                    [](s64 x, s64 y, auto) { return x - y; });
 }
 
 VWord
 padds(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes,
       bool isSigned)
 {
-    return mapElems(a, b, ew, bytes, isSigned, [=](s64 x, s64 y) {
-        return saturate(x + y, ew, isSigned);
+    return mapElems(a, b, ew, bytes, isSigned, [](s64 x, s64 y, auto tag) {
+        return saturateT(tag, x + y);
     });
 }
 
@@ -109,8 +177,8 @@ VWord
 psubs(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes,
       bool isSigned)
 {
-    return mapElems(a, b, ew, bytes, isSigned, [=](s64 x, s64 y) {
-        return saturate(x - y, ew, isSigned);
+    return mapElems(a, b, ew, bytes, isSigned, [](s64 x, s64 y, auto tag) {
+        return saturateT(tag, x - y);
     });
 }
 
@@ -118,14 +186,14 @@ VWord
 pmull(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes)
 {
     return mapElems(a, b, ew, bytes, true,
-                    [](s64 x, s64 y) { return x * y; });
+                    [](s64 x, s64 y, auto) { return x * y; });
 }
 
 VWord
 pmulh(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes)
 {
     unsigned sh = 8 * elemBytes(ew);
-    return mapElems(a, b, ew, bytes, true, [=](s64 x, s64 y) {
+    return mapElems(a, b, ew, bytes, true, [=](s64 x, s64 y, auto) {
         return asr64(x * y, sh);
     });
 }
@@ -162,7 +230,7 @@ VWord
 pavg(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes)
 {
     return mapElems(a, b, ew, bytes, false,
-                    [](s64 x, s64 y) { return (x + y + 1) >> 1; });
+                    [](s64 x, s64 y, auto) { return (x + y + 1) >> 1; });
 }
 
 VWord
@@ -170,7 +238,7 @@ pmin(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes,
      bool isSigned)
 {
     return mapElems(a, b, ew, bytes, isSigned,
-                    [](s64 x, s64 y) { return std::min(x, y); });
+                    [](s64 x, s64 y, auto) { return std::min(x, y); });
 }
 
 VWord
@@ -178,7 +246,7 @@ pmax(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes,
      bool isSigned)
 {
     return mapElems(a, b, ew, bytes, isSigned,
-                    [](s64 x, s64 y) { return std::max(x, y); });
+                    [](s64 x, s64 y, auto) { return std::max(x, y); });
 }
 
 VWord
@@ -203,36 +271,52 @@ VWord
 pshift(const VWord &a, ElemWidth ew, unsigned bytes, unsigned amount,
        ShiftKind kind)
 {
-    VWord out;
-    unsigned n = elems(ew, bytes);
-    unsigned width = 8 * elemBytes(ew);
-    for (unsigned i = 0; i < n; ++i) {
-        if (amount >= width && kind != ShiftKind::Sra) {
-            setElem(out, ew, i, 0);
-            continue;
-        }
+    // Shift kind and element width are resolved once; the loops are
+    // width-specialised.
+    return withWidth(ew, [&]<typename U, bool S>(LaneTag<U, S>) {
+        constexpr unsigned width = 8 * unsigned(sizeof(U));
+        unsigned n = bytes / unsigned(sizeof(U));
+        VWord out;
+        if (amount >= width && kind != ShiftKind::Sra)
+            return out; // every lane shifts to zero
         unsigned sh = std::min(amount, width - 1);
-        s64 x;
         switch (kind) {
           case ShiftKind::Sll:
-            x = getElem(a, ew, i, false) << amount;
+            for (unsigned i = 0; i < n; ++i)
+                setLane<U>(out, i, rawLane<U>(a, i) << amount);
             break;
           case ShiftKind::Srl:
-            x = s64(u64(getElem(a, ew, i, false)) >> amount);
+            for (unsigned i = 0; i < n; ++i)
+                setLane<U>(out, i, rawLane<U>(a, i) >> amount);
             break;
           case ShiftKind::Sra:
-            x = asr64(getElem(a, ew, i, true), sh);
+            for (unsigned i = 0; i < n; ++i)
+                setLane<U>(out, i, u64(asr64(lane<U, true>(a, i), sh)));
             break;
           default:
             panic("bad shift kind");
         }
-        setElem(out, ew, i, x);
-    }
-    return out;
+        return out;
+    });
 }
 
 namespace
 {
+
+template <typename Src, typename Dst, bool Signed>
+VWord
+packT(const VWord &a, const VWord &b, unsigned bytes)
+{
+    unsigned n = bytes / unsigned(sizeof(Src));
+    VWord out;
+    for (unsigned i = 0; i < n; ++i) {
+        setLane<Dst>(out, i,
+                     u64(saturateT<Dst, Signed>(lane<Src, true>(a, i))));
+        setLane<Dst>(out, n + i,
+                     u64(saturateT<Dst, Signed>(lane<Src, true>(b, i))));
+    }
+    return out;
+}
 
 VWord
 packCommon(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes,
@@ -240,15 +324,12 @@ packCommon(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes,
 {
     vmmx_assert(ew == ElemWidth::W16 || ew == ElemWidth::D32,
                 "pack source width must be W16 or D32");
-    ElemWidth dw = ew == ElemWidth::W16 ? ElemWidth::B8 : ElemWidth::W16;
-    unsigned n = elems(ew, bytes);
-    VWord out;
-    for (unsigned i = 0; i < n; ++i) {
-        setElem(out, dw, i, saturate(getElem(a, ew, i, true), dw, isSigned));
-        setElem(out, dw, n + i,
-                saturate(getElem(b, ew, i, true), dw, isSigned));
+    if (ew == ElemWidth::W16) {
+        return isSigned ? packT<u16, u8, true>(a, b, bytes)
+                        : packT<u16, u8, false>(a, b, bytes);
     }
-    return out;
+    return isSigned ? packT<u32, u16, true>(a, b, bytes)
+                    : packT<u32, u16, false>(a, b, bytes);
 }
 
 } // namespace
@@ -268,45 +349,66 @@ packus(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes)
 VWord
 unpckl(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes)
 {
-    unsigned n = elems(ew, bytes);
-    VWord out;
-    for (unsigned i = 0; i < n / 2; ++i) {
-        setElem(out, ew, 2 * i, getElem(a, ew, i, false));
-        setElem(out, ew, 2 * i + 1, getElem(b, ew, i, false));
-    }
-    return out;
+    return withWidth(ew, [&]<typename U, bool S>(LaneTag<U, S>) {
+        unsigned n = bytes / unsigned(sizeof(U));
+        VWord out;
+        for (unsigned i = 0; i < n / 2; ++i) {
+            setLane<U>(out, 2 * i, rawLane<U>(a, i));
+            setLane<U>(out, 2 * i + 1, rawLane<U>(b, i));
+        }
+        return out;
+    });
 }
 
 VWord
 unpckh(const VWord &a, const VWord &b, ElemWidth ew, unsigned bytes)
 {
-    unsigned n = elems(ew, bytes);
-    VWord out;
-    for (unsigned i = 0; i < n / 2; ++i) {
-        setElem(out, ew, 2 * i, getElem(a, ew, n / 2 + i, false));
-        setElem(out, ew, 2 * i + 1, getElem(b, ew, n / 2 + i, false));
-    }
-    return out;
+    return withWidth(ew, [&]<typename U, bool S>(LaneTag<U, S>) {
+        unsigned n = bytes / unsigned(sizeof(U));
+        VWord out;
+        for (unsigned i = 0; i < n / 2; ++i) {
+            setLane<U>(out, 2 * i, rawLane<U>(a, n / 2 + i));
+            setLane<U>(out, 2 * i + 1, rawLane<U>(b, n / 2 + i));
+        }
+        return out;
+    });
 }
 
 VWord
 psplat(u64 v, ElemWidth ew, unsigned bytes)
 {
-    VWord out;
-    unsigned n = elems(ew, bytes);
-    for (unsigned i = 0; i < n; ++i)
-        setElem(out, ew, i, s64(v));
-    return out;
+    return withWidth(ew, [&]<typename U, bool S>(LaneTag<U, S>) {
+        unsigned n = bytes / unsigned(sizeof(U));
+        VWord out;
+        for (unsigned i = 0; i < n; ++i)
+            setLane<U>(out, i, v);
+        return out;
+    });
 }
 
 s64
 psum(const VWord &a, ElemWidth ew, unsigned bytes, bool isSigned)
 {
-    s64 sum = 0;
-    unsigned n = elems(ew, bytes);
-    for (unsigned i = 0; i < n; ++i)
-        sum += getElem(a, ew, i, isSigned);
-    return sum;
+    auto sumT = [&]<typename U, bool S>(LaneTag<U, S>) {
+        s64 sum = 0;
+        unsigned n = bytes / unsigned(sizeof(U));
+        for (unsigned i = 0; i < n; ++i)
+            sum += lane<U, S>(a, i);
+        return sum;
+    };
+    switch (ew) {
+      case ElemWidth::B8:
+        return isSigned ? sumT(LaneTag<u8, true>{}) : sumT(LaneTag<u8, false>{});
+      case ElemWidth::W16:
+        return isSigned ? sumT(LaneTag<u16, true>{})
+                        : sumT(LaneTag<u16, false>{});
+      case ElemWidth::D32:
+        return isSigned ? sumT(LaneTag<u32, true>{})
+                        : sumT(LaneTag<u32, false>{});
+      case ElemWidth::Q64:
+        return sumT(LaneTag<u64, false>{});
+    }
+    panic("bad element width");
 }
 
 VWord

@@ -24,6 +24,9 @@ struct RunResult
     u64 cohInvalidations = 0;
 
     Cycle cycles() const { return core.cycles; }
+
+    /** Bit-exact comparison (sweep determinism checks). */
+    bool operator==(const RunResult &o) const = default;
 };
 
 /** Run @p trace on @p machine from cold caches. */

@@ -1,0 +1,154 @@
+#include "harness/sweep.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace vmmx
+{
+
+std::string
+SweepPoint::label() const
+{
+    return name + "/" + vmmx::name(kind) + "/" + std::to_string(way) +
+           "-way";
+}
+
+Sweep::Sweep(const SweepOptions &opts) : opts_(opts) {}
+
+Sweep &
+Sweep::addKernel(const std::string &name, SimdKind kind, unsigned way,
+                 const Config &overrides)
+{
+    points_.push_back(
+        {SweepPoint::Workload::Kernel, name, kind, way, overrides, nullptr});
+    return *this;
+}
+
+Sweep &
+Sweep::addApp(const std::string &name, SimdKind kind, unsigned way,
+              const Config &overrides)
+{
+    points_.push_back(
+        {SweepPoint::Workload::App, name, kind, way, overrides, nullptr});
+    return *this;
+}
+
+Sweep &
+Sweep::addTrace(SharedTrace trace, SimdKind kind, unsigned way,
+                const std::string &label, const Config &overrides)
+{
+    vmmx_assert(trace != nullptr, "explicit sweep trace must be non-null");
+    points_.push_back({SweepPoint::Workload::Trace, label, kind, way,
+                       overrides, std::move(trace)});
+    return *this;
+}
+
+Sweep &
+Sweep::addKernelGrid(const std::vector<std::string> &names,
+                     const std::vector<SimdKind> &kinds,
+                     const std::vector<unsigned> &ways)
+{
+    for (const auto &n : names)
+        for (auto k : kinds)
+            for (auto w : ways)
+                addKernel(n, k, w);
+    return *this;
+}
+
+Sweep &
+Sweep::addAppGrid(const std::vector<std::string> &names,
+                  const std::vector<SimdKind> &kinds,
+                  const std::vector<unsigned> &ways)
+{
+    for (const auto &n : names)
+        for (auto k : kinds)
+            for (auto w : ways)
+                addApp(n, k, w);
+    return *this;
+}
+
+SharedTrace
+Sweep::resolve(const SweepPoint &point) const
+{
+    TraceCache &cache = opts_.cache ? *opts_.cache : TraceCache::instance();
+    switch (point.workload) {
+      case SweepPoint::Workload::Kernel:
+        return cache.kernel(point.name, point.kind);
+      case SweepPoint::Workload::App:
+        return cache.app(point.name, point.kind);
+      case SweepPoint::Workload::Trace:
+        return point.trace;
+    }
+    panic("unknown sweep workload");
+}
+
+SweepResult
+Sweep::runPoint(const SweepPoint &point) const
+{
+    SharedTrace trace = resolve(point);
+    MachineConfig machine = makeMachine(point.kind, point.way,
+                                        point.overrides);
+    SweepResult r;
+    r.point = point;
+    r.traceLength = trace->size();
+    r.result = runTrace(machine, *trace);
+    return r;
+}
+
+std::vector<SweepResult>
+Sweep::runSerial() const
+{
+    std::vector<SweepResult> results;
+    results.reserve(points_.size());
+    for (const auto &p : points_)
+        results.push_back(runPoint(p));
+    return results;
+}
+
+std::vector<SweepResult>
+Sweep::run() const
+{
+    unsigned threads = opts_.threads;
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    threads = std::min<unsigned>(threads, points_.size());
+    if (threads <= 1)
+        return runSerial();
+
+    // Jobs are independent (per-job MemorySystem/OoOCore, immutable shared
+    // traces); workers pull the next undone index and write into their
+    // submission-order slot, so the result vector is deterministic.
+    std::vector<SweepResult> results(points_.size());
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+        for (size_t i = next.fetch_add(1); i < points_.size();
+             i = next.fetch_add(1)) {
+            results[i] = runPoint(points_[i]);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+    return results;
+}
+
+std::vector<SweepResult>
+sweepTrace(const SharedTrace &trace, SimdKind kind,
+           const std::vector<unsigned> &ways, const SweepOptions &opts)
+{
+    Sweep sweep(opts);
+    for (unsigned w : ways)
+        sweep.addTrace(trace, kind, w);
+    return sweep.run();
+}
+
+} // namespace vmmx

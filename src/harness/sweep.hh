@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Parallel sweep engine for (workload x SIMD flavour x machine) studies.
+ *
+ * Every figure in the paper is a sweep: the same few traces replayed on a
+ * grid of machine configurations.  A Sweep collects the grid points,
+ * resolves each point's trace through the shared TraceCache (so a trace
+ * is generated once per process, not once per point), and fans the
+ * independent runTrace jobs across a thread pool.  MemorySystem and
+ * OoOCore are constructed per job and the cached traces are immutable, so
+ * jobs share nothing mutable; results are therefore bit-identical to the
+ * serial loop and are returned in submission order regardless of the
+ * execution interleaving.
+ */
+
+#ifndef VMMX_HARNESS_SWEEP_HH
+#define VMMX_HARNESS_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "harness/machine.hh"
+#include "harness/runner.hh"
+#include "trace/trace_cache.hh"
+
+namespace vmmx
+{
+
+/** One grid point: a trace source plus the machine that replays it. */
+struct SweepPoint
+{
+    enum class Workload : u8 { Kernel, App, Trace };
+
+    Workload workload = Workload::Kernel;
+    /** Kernel or app name; a display label for explicit traces. */
+    std::string name;
+    SimdKind kind = SimdKind::MMX64;
+    unsigned way = 2;
+    /** Optional machine knob overrides (ablation studies). */
+    Config overrides;
+    /** Pre-resolved trace (Workload::Trace only). */
+    SharedTrace trace;
+
+    /** e.g. "idct/vmmx128/4-way". */
+    std::string label() const;
+};
+
+/** Result of one grid point, in submission order. */
+struct SweepResult
+{
+    SweepPoint point;
+    RunResult result;
+    u64 traceLength = 0;
+
+    Cycle cycles() const { return result.cycles(); }
+
+    /** Ignores the echoed point: two results match when the timing and
+     *  statistics of the runs are bit-identical. */
+    bool sameRun(const SweepResult &o) const
+    {
+        return result == o.result && traceLength == o.traceLength;
+    }
+};
+
+struct SweepOptions
+{
+    /** Worker threads; 0 picks std::thread::hardware_concurrency(). */
+    unsigned threads = 0;
+    /** Trace cache to resolve against; null uses the process-wide one. */
+    TraceCache *cache = nullptr;
+};
+
+class Sweep
+{
+  public:
+    explicit Sweep(const SweepOptions &opts = {});
+
+    // ---- grid construction ------------------------------------------
+    Sweep &addKernel(const std::string &name, SimdKind kind, unsigned way,
+                     const Config &overrides = {});
+    Sweep &addApp(const std::string &name, SimdKind kind, unsigned way,
+                  const Config &overrides = {});
+    /** Replay an explicit trace (custom programs, tests). */
+    Sweep &addTrace(SharedTrace trace, SimdKind kind, unsigned way,
+                    const std::string &label = "trace",
+                    const Config &overrides = {});
+
+    /** Cross product helpers for the common grid shapes. */
+    Sweep &addKernelGrid(const std::vector<std::string> &names,
+                         const std::vector<SimdKind> &kinds,
+                         const std::vector<unsigned> &ways);
+    Sweep &addAppGrid(const std::vector<std::string> &names,
+                      const std::vector<SimdKind> &kinds,
+                      const std::vector<unsigned> &ways);
+
+    size_t size() const { return points_.size(); }
+    const std::vector<SweepPoint> &points() const { return points_; }
+
+    // ---- execution ---------------------------------------------------
+    /**
+     * Run every point and return results in submission order.  Uses the
+     * configured thread count; a count of 1 (or a single-point sweep)
+     * stays on the calling thread.
+     */
+    std::vector<SweepResult> run() const;
+
+    /** Reference serial loop on the calling thread (determinism checks,
+     *  speedup baselines).  Still resolves traces through the cache. */
+    std::vector<SweepResult> runSerial() const;
+
+  private:
+    SweepResult runPoint(const SweepPoint &point) const;
+    SharedTrace resolve(const SweepPoint &point) const;
+
+    SweepOptions opts_;
+    std::vector<SweepPoint> points_;
+};
+
+/** Convenience: sweep a single explicit trace over (kind, way) machines. */
+std::vector<SweepResult>
+sweepTrace(const SharedTrace &trace, SimdKind kind,
+           const std::vector<unsigned> &ways,
+           const SweepOptions &opts = {});
+
+} // namespace vmmx
+
+#endif // VMMX_HARNESS_SWEEP_HH

@@ -25,10 +25,12 @@ MemorySystem::MemorySystem(const MemParams &params)
                 "L1 lines invalidated by vector accesses"),
       cohWritebacks_(&stats_, "coh_writebacks",
                      "L1 dirty lines flushed to L2 by vector accesses"),
-      l1Writebacks_(&stats_, "l1_writebacks", "L1 dirty evictions")
+      l1Writebacks_(&stats_, "l1_writebacks", "L1 dirty evictions"),
+      l2Writebacks_(&stats_, "l2_writebacks", "L2 dirty evictions to memory")
 {
     vmmx_assert(params_.l1Ports > 0, "need at least one L1 port");
     vmmx_assert(params_.vecPortBytes >= 8, "vector port below 64 bits");
+    mshr_.reserve(params_.mshrs);
 }
 
 void
@@ -40,21 +42,85 @@ MemorySystem::reset()
     std::fill(l1BankFree_.begin(), l1BankFree_.end(), 0);
     vecPortFree_ = 0;
     mshr_.clear();
+    mshrEarliest_ = noFill;
     stats_.resetAll();
+}
+
+MemorySystem::MshrEntry *
+MemorySystem::mshrFind(Addr lineAddr)
+{
+    for (auto &e : mshr_)
+        if (e.line == lineAddr)
+            return &e;
+    return nullptr;
+}
+
+void
+MemorySystem::mshrRecomputeEarliest()
+{
+    mshrEarliest_ = noFill;
+    for (const auto &e : mshr_)
+        mshrEarliest_ = std::min(mshrEarliest_, e.ready);
+}
+
+void
+MemorySystem::mshrErase(MshrEntry *e)
+{
+    Cycle ready = e->ready;
+    *e = mshr_.back();
+    mshr_.pop_back();
+    if (ready <= mshrEarliest_)
+        mshrRecomputeEarliest();
+}
+
+void
+MemorySystem::mshrInsert(Addr lineAddr, Cycle ready)
+{
+    mshr_.push_back({lineAddr, ready});
+    mshrEarliest_ = std::min(mshrEarliest_, ready);
+}
+
+void
+MemorySystem::mshrRetire(Cycle when)
+{
+    for (size_t i = 0; i < mshr_.size();) {
+        if (mshr_[i].ready <= when) {
+            mshr_[i] = mshr_.back();
+            mshr_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+    mshrRecomputeEarliest();
+}
+
+MemorySystem::MshrEntry *
+MemorySystem::mshrOldest()
+{
+    MshrEntry *best = nullptr;
+    for (auto &e : mshr_) {
+        // Ties break toward the lowest line address, preserving the
+        // ordered-map semantics this table replaced.
+        if (!best || e.ready < best->ready ||
+            (e.ready == best->ready && e.line < best->line)) {
+            best = &e;
+        }
+    }
+    return best;
 }
 
 Cycle
 MemorySystem::l2Lookup(Addr lineAddr, bool isWrite, Cycle when)
 {
     // An outstanding miss to the same line is merged (MSHR hit).
-    auto it = mshr_.find(lineAddr);
-    if (it != mshr_.end()) {
-        if (it->second > when) {
+    if (MshrEntry *e = mshrFind(lineAddr)) {
+        if (e->ready > when) {
+            Cycle ready = e->ready;
             if (isWrite)
                 l2_.fill(lineAddr, true);
-            return it->second;
+            return ready;
         }
-        mshr_.erase(it); // fill completed; retire the entry
+        mshrErase(e); // fill completed; retire the entry
     }
 
     if (l2_.probe(lineAddr)) {
@@ -66,28 +132,25 @@ MemorySystem::l2Lookup(Addr lineAddr, bool isWrite, Cycle when)
     }
 
     ++l2Misses_;
-    // Retire MSHR entries whose fills have completed.
-    for (auto e = mshr_.begin(); e != mshr_.end();) {
-        if (e->second <= when)
-            e = mshr_.erase(e);
-        else
-            ++e;
-    }
+    // Retire MSHR entries whose fills have completed; the tracked
+    // earliest-fill cycle skips the walk when nothing can have finished.
+    if (mshrEarliest_ <= when)
+        mshrRetire(when);
     // MSHR capacity: with all entries busy the request waits for the
     // earliest outstanding fill.
     Cycle start = when;
     while (mshr_.size() >= params_.mshrs) {
-        auto oldest = std::min_element(
-            mshr_.begin(), mshr_.end(),
-            [](const auto &a, const auto &b) { return a.second < b.second; });
-        start = std::max(start, oldest->second);
-        mshr_.erase(oldest);
+        MshrEntry *oldest = mshrOldest();
+        start = std::max(start, oldest->ready);
+        mshrErase(oldest);
     }
 
     Cycle ready = start + params_.l2.latency + params_.memLatency;
-    mshr_[lineAddr] = ready;
+    mshrInsert(lineAddr, ready);
     auto ev = l2_.fill(lineAddr, isWrite);
     if (ev.evicted) {
+        if (ev.evictedDirty)
+            ++l2Writebacks_;
         // Inclusion: an L2 eviction must also leave the L1.
         if (l1_.invalidate(ev.evictedLine))
             ++cohInval_;
@@ -130,7 +193,7 @@ MemorySystem::scalarAccess(Addr addr, u32 bytes, bool isWrite, Cycle when)
         done = start + params_.l1.latency;
     } else {
         ++l1Misses_;
-        Cycle l2Ready = l2Lookup(line, false, start + params_.l1.latency);
+        Cycle l2Ready = l2Lookup(line, isWrite, start + params_.l1.latency);
         // Fill the L1 (inclusion holds: the line is now in both levels).
         Cycle fill =
             l2Ready + params_.l1.lineBytes / std::max<u32>(
@@ -156,7 +219,7 @@ MemorySystem::scalarAccess(Addr addr, u32 bytes, bool isWrite, Cycle when)
         } else {
             ++l1Misses_;
             Cycle l2Ready =
-                l2Lookup(line2, false, start + params_.l1.latency + 1);
+                l2Lookup(line2, isWrite, start + params_.l1.latency + 1);
             auto ev = l1_.fill(line2, isWrite);
             if (ev.evicted && ev.evictedDirty) {
                 ++l1Writebacks_;

@@ -20,7 +20,6 @@
 #ifndef VMMX_MEM_MEMSYS_HH
 #define VMMX_MEM_MEMSYS_HH
 
-#include <map>
 #include <vector>
 
 #include "common/stats.hh"
@@ -66,6 +65,8 @@ class MemorySystem
     u64 vecAccesses() const { return vecAccesses_.value(); }
     u64 vecStride1() const { return vecStride1_.value(); }
     u64 coherenceInvalidations() const { return cohInval_.value(); }
+    u64 l1WritebackCount() const { return l1Writebacks_.value(); }
+    u64 l2WritebackCount() const { return l2Writebacks_.value(); }
 
   private:
     /** L2 lookup shared by the scalar-miss and vector paths.
@@ -75,6 +76,29 @@ class MemorySystem
     /** Reserve an L1 port and bank; @return transfer start cycle. */
     Cycle reserveL1(Addr addr, u32 bytes, Cycle when);
 
+    /**
+     * Outstanding-miss table entry.  The table is a flat array of at most
+     * params_.mshrs entries (no per-miss node allocation) with the
+     * earliest outstanding fill cycle tracked incrementally, so the
+     * common no-retirement case skips the table walk entirely.
+     */
+    struct MshrEntry
+    {
+        Addr line;
+        Cycle ready;
+    };
+
+    static constexpr Cycle noFill = ~Cycle(0);
+
+    MshrEntry *mshrFind(Addr lineAddr);
+    void mshrErase(MshrEntry *e);
+    void mshrInsert(Addr lineAddr, Cycle ready);
+    /** Drop all entries whose fills completed at or before @p when. */
+    void mshrRetire(Cycle when);
+    /** Entry with the earliest fill (ties: lowest line address). */
+    MshrEntry *mshrOldest();
+    void mshrRecomputeEarliest();
+
     MemParams params_;
     CacheArray l1_;
     CacheArray l2_;
@@ -83,8 +107,10 @@ class MemorySystem
     std::vector<Cycle> l1BankFree_;
     Cycle vecPortFree_ = 0;
 
-    /** Outstanding-miss table: line address -> data-ready cycle. */
-    std::map<Addr, Cycle> mshr_;
+    /** Outstanding-miss table (unordered; size <= params_.mshrs). */
+    std::vector<MshrEntry> mshr_;
+    /** Minimum ready cycle over mshr_; noFill when empty. */
+    Cycle mshrEarliest_ = noFill;
 
     StatGroup stats_;
     Counter l1Hits_;
@@ -97,6 +123,7 @@ class MemorySystem
     Counter cohInval_;
     Counter cohWritebacks_;
     Counter l1Writebacks_;
+    Counter l2Writebacks_;
 };
 
 } // namespace vmmx

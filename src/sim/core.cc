@@ -33,6 +33,7 @@ OoOCore::OoOCore(const CoreParams &params, MemorySystem *mem)
       robRing_(params.robSize, 0)
 {
     vmmx_assert(mem_ != nullptr, "core needs a memory system");
+    stores_.reserve(params.storeWindow);
 
     freeLists_.reserve(numRegClasses);
     freeLists_.emplace_back(params.physInt, params.logicalInt);
@@ -45,6 +46,61 @@ OoOCore::OoOCore(const CoreParams &params, MemorySystem *mem)
     regReady_[regClassIdx(RegClass::Fp)].assign(64, 0);
     regReady_[regClassIdx(RegClass::Simd)].assign(64, 0);
     regReady_[regClassIdx(RegClass::Acc)].assign(8, 0);
+}
+
+void
+OoOCore::pushStore(Addr lo, Addr hi, Cycle done)
+{
+    if (params_.storeWindow == 0)
+        return;
+    if (stores_.size() < params_.storeWindow) {
+        stores_.push_back({lo, hi, done});
+    } else {
+        stores_[storeHead_] = {lo, hi, done};
+        storeHead_ = (storeHead_ + 1) % stores_.size();
+    }
+    storesMaxDone_ = std::max(storesMaxDone_, done);
+    storesLoMin_ = std::min(storesLoMin_, lo);
+    storesHiMax_ = std::max(storesHiMax_, hi);
+}
+
+Cycle
+OoOCore::disambiguate(Addr lo, Addr hi, Cycle issue)
+{
+    // The bounds over-approximate the live window, so a miss here proves
+    // no overlapping store is still in flight.
+    if (stores_.empty() || issue >= storesMaxDone_ ||
+        hi <= storesLoMin_ || lo >= storesHiMax_) {
+        return issue;
+    }
+
+    // The final issue cycle is max(issue, done of overlapping in-flight
+    // stores) -- order independent, so the ring is walked linearly while
+    // the bounds are re-tightened to the exact live set.
+    Cycle maxDone = 0;
+    Addr loMin = ~Addr(0);
+    Addr hiMax = 0;
+    for (const PendingStore &st : stores_) {
+        if (st.done > issue && st.lo < hi && lo < st.hi)
+            issue = st.done;
+        maxDone = std::max(maxDone, st.done);
+        loMin = std::min(loMin, st.lo);
+        hiMax = std::max(hiMax, st.hi);
+    }
+    storesMaxDone_ = maxDone;
+    storesLoMin_ = loMin;
+    storesHiMax_ = hiMax;
+    return issue;
+}
+
+void
+OoOCore::resetStores()
+{
+    stores_.clear();
+    storeHead_ = 0;
+    storesMaxDone_ = 0;
+    storesLoMin_ = ~Addr(0);
+    storesHiMax_ = 0;
 }
 
 Cycle
@@ -150,40 +206,26 @@ OoOCore::step(const InstRecord &inst)
         break;
       }
       case FuType::Mem: {
+        // Footprint [lo, hi) of the access, covering all strided rows.
+        Addr lo = inst.addr;
+        Addr hi = inst.addr;
+        if (inst.vl > 0 && inst.stride != 0) {
+            s64 span = s64(inst.stride) * (inst.rows() - 1);
+            if (span < 0)
+                lo = Addr(s64(lo) + span);
+            else
+                hi = Addr(s64(hi) + span);
+        }
+        hi += inst.rowBytes;
+
         issue = ready;
         if (inst.isLoad()) {
             // Wait for older overlapping stores still in flight.
-            Addr lo = inst.addr;
-            Addr hi = inst.addr;
-            if (inst.vl > 0 && inst.stride != 0) {
-                s64 span = s64(inst.stride) * (inst.rows() - 1);
-                if (span < 0)
-                    lo = Addr(s64(lo) + span);
-                else
-                    hi = Addr(s64(hi) + span);
-            }
-            hi += inst.rowBytes;
-            for (const auto &st : stores_) {
-                if (st.done > issue && st.lo < hi && lo < st.hi)
-                    issue = st.done;
-            }
+            issue = disambiguate(lo, hi, issue);
         }
         done = memoryTime(inst, issue);
-        if (inst.isStore()) {
-            Addr lo = inst.addr;
-            Addr hi = inst.addr;
-            if (inst.vl > 0 && inst.stride != 0) {
-                s64 span = s64(inst.stride) * (inst.rows() - 1);
-                if (span < 0)
-                    lo = Addr(s64(lo) + span);
-                else
-                    hi = Addr(s64(hi) + span);
-            }
-            hi += inst.rowBytes;
-            stores_.push_back({lo, hi, done});
-            if (stores_.size() > params_.storeWindow)
-                stores_.pop_front();
-        }
+        if (inst.isStore())
+            pushStore(lo, hi, done);
         ++stats_.memOps;
         break;
       }
@@ -261,7 +303,7 @@ OoOCore::run(const std::vector<InstRecord> &trace)
     for (auto &table : regReady_)
         std::fill(table.begin(), table.end(), 0);
     std::fill(robRing_.begin(), robRing_.end(), 0);
-    stores_.clear();
+    resetStores();
     seq_ = 0;
     lastCommit_ = 0;
     fetchRedirect_ = 0;

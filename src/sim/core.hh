@@ -24,7 +24,6 @@
 #ifndef VMMX_SIM_CORE_HH
 #define VMMX_SIM_CORE_HH
 
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -86,7 +85,26 @@ class OoOCore
         Addr hi;
         Cycle done;
     };
-    std::deque<PendingStore> stores_;
+
+    /**
+     * The last storeWindow stores, kept in a fixed ring (the newest
+     * overwrites the oldest, matching the deque this replaced).  The
+     * interval and completion-time bounds over the live entries let the
+     * per-load disambiguation walk be skipped outright when no pending
+     * store can overlap or is still in flight; they are conservative
+     * (never under-approximate) and are tightened on every full walk.
+     */
+    std::vector<PendingStore> stores_;
+    size_t storeHead_ = 0;
+    Cycle storesMaxDone_ = 0;
+    Addr storesLoMin_ = ~Addr(0);
+    Addr storesHiMax_ = 0;
+
+    void pushStore(Addr lo, Addr hi, Cycle done);
+    /** @return the load's issue cycle after waiting for overlapping
+     *  older stores still in flight at @p issue. */
+    Cycle disambiguate(Addr lo, Addr hi, Cycle issue);
+    void resetStores();
 
     RunStats stats_;
 };

@@ -31,6 +31,9 @@ struct RunStats
     u64 renameStallRob = 0;      ///< renames delayed by a full ROB
     u64 renameStallIq = 0;       ///< renames delayed by a full issue queue
 
+    /** Bit-exact comparison (sweep determinism checks). */
+    bool operator==(const RunStats &o) const = default;
+
     double ipc() const
     {
         return cycles ? double(instructions) / double(cycles) : 0.0;

@@ -61,13 +61,39 @@ Program::emit(InstRecord rec)
 u32
 Program::siteId(const Loc &loc)
 {
-    // FNV-1a over the identity of the call site.
+    // FNV-1a over the identity of the call site.  The file name is hashed
+    // by the *content* of its basename (memoised per string literal)
+    // rather than by pointer: pointer values change with binary layout and
+    // the path prefix changes with the checkout location, either of which
+    // would make branch-predictor indexing -- and thus cycle counts --
+    // vary across builds of identical source.
+    const char *file = loc.file_name();
+    u64 fileHash = 0;
+    for (const auto &e : fileHashes_) {
+        if (e.first == file) {
+            fileHash = e.second;
+            break;
+        }
+    }
+    if (fileHash == 0) {
+        const char *base = file;
+        for (const char *c = file; *c; ++c)
+            if (*c == '/' || *c == '\\')
+                base = c + 1;
+        fileHash = 1469598103934665603ull;
+        for (const char *c = base; *c; ++c) {
+            fileHash ^= u8(*c);
+            fileHash *= 1099511628211ull;
+        }
+        fileHashes_.emplace_back(file, fileHash);
+    }
+
     u64 h = 1469598103934665603ull;
     auto mix = [&h](u64 v) {
         h ^= v;
         h *= 1099511628211ull;
     };
-    mix(reinterpret_cast<u64>(loc.file_name()));
+    mix(fileHash);
     mix(loc.line());
     mix(loc.column());
     return u32(h ^ (h >> 32));

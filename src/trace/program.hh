@@ -209,6 +209,9 @@ class Program
     unsigned accAlloc_ = 0;
     unsigned maxSimdRegs_;
 
+    /** file_name() pointer -> content hash (few distinct files). */
+    std::vector<std::pair<const char *, u64>> fileHashes_;
+
     std::array<u64, 32> intRegs_{};
     std::array<VWord, 32> vregs_{};
     std::array<MatrixReg, 16> mregs_{};

@@ -1,0 +1,92 @@
+#include "trace/trace_cache.hh"
+
+#include "apps/app.hh"
+#include "common/memimage.hh"
+#include "common/rng.hh"
+#include "kernels/kernel.hh"
+#include "trace/program.hh"
+
+namespace vmmx
+{
+
+TraceCache &
+TraceCache::instance()
+{
+    static TraceCache cache;
+    return cache;
+}
+
+SharedTrace
+TraceCache::kernel(const std::string &name, SimdKind kind, u32 imageBytes,
+                   u64 seed)
+{
+    return lookup({false, name, kind, imageBytes, seed});
+}
+
+SharedTrace
+TraceCache::app(const std::string &name, SimdKind kind, u32 imageBytes,
+                u64 seed)
+{
+    return lookup({true, name, kind, imageBytes, seed});
+}
+
+size_t
+TraceCache::size() const
+{
+    std::lock_guard<std::mutex> lock(registryMu_);
+    return entries_.size();
+}
+
+void
+TraceCache::clear()
+{
+    std::lock_guard<std::mutex> lock(registryMu_);
+    entries_.clear();
+    generations_ = 0;
+    hits_ = 0;
+}
+
+SharedTrace
+TraceCache::lookup(const Key &key)
+{
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(registryMu_);
+        auto it = entries_.find(key);
+        if (it == entries_.end())
+            it = entries_.emplace(key, std::make_shared<Entry>()).first;
+        entry = it->second;
+    }
+
+    std::lock_guard<std::mutex> build(entry->build);
+    if (entry->trace) {
+        ++hits_;
+        return entry->trace;
+    }
+
+    std::vector<InstRecord> trace;
+    if (key.isApp) {
+        auto a = makeApp(key.name);
+        MemImage mem(key.imageBytes);
+        Rng rng(key.seed);
+        a->prepare(mem, rng);
+        Program p(mem, key.kind);
+        a->emit(p);
+        trace = p.takeTrace();
+    } else {
+        auto k = makeKernel(key.name);
+        MemImage mem(key.imageBytes);
+        Rng rng(key.seed);
+        k->prepare(mem, rng);
+        Program p(mem, key.kind);
+        k->emit(p);
+        trace = p.takeTrace();
+    }
+
+    entry->trace =
+        std::make_shared<const std::vector<InstRecord>>(std::move(trace));
+    ++generations_;
+    return entry->trace;
+}
+
+} // namespace vmmx

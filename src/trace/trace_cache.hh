@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Process-wide memoizing cache of generated instruction traces.
+ *
+ * Trace generation is execution driven (the Program DSL runs the kernel
+ * functionally while recording), so a trace for a given
+ * (workload, SimdKind, image-size, seed) key is deterministic and
+ * immutable once built.  Sweeps over machine widths and cache/latency
+ * configurations replay the same trace many times; the cache guarantees
+ * each distinct trace is built exactly once per process and then shared,
+ * read-only, across all threads of the sweep engine.
+ *
+ * Thread model: lookups take a short registry lock to find or create the
+ * entry, then build the trace under the entry's own mutex so concurrent
+ * requests for *different* keys generate in parallel while concurrent
+ * requests for the *same* key block until the first builder finishes.
+ */
+
+#ifndef VMMX_TRACE_TRACE_CACHE_HH
+#define VMMX_TRACE_TRACE_CACHE_HH
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "isa/simd_kind.hh"
+
+namespace vmmx
+{
+
+/** Immutable, shareable dynamic instruction trace. */
+using SharedTrace = std::shared_ptr<const std::vector<InstRecord>>;
+
+class TraceCache
+{
+  public:
+    /** Default memory-image size for kernel workloads (16 MiB). */
+    static constexpr u32 kernelImageBytes = 16u << 20;
+    /** Default memory-image size for application workloads (32 MiB). */
+    static constexpr u32 appImageBytes = 32u << 20;
+    /** Default input-generation seed (matches the figure benches). */
+    static constexpr u64 defaultSeed = 0xbeef;
+
+    TraceCache() = default;
+    TraceCache(const TraceCache &) = delete;
+    TraceCache &operator=(const TraceCache &) = delete;
+
+    /** The shared per-process cache used by benches and the sweep engine. */
+    static TraceCache &instance();
+
+    /** Trace of a Table II kernel, built at most once per key. */
+    SharedTrace kernel(const std::string &name, SimdKind kind,
+                       u32 imageBytes = kernelImageBytes,
+                       u64 seed = defaultSeed);
+
+    /** Trace of one of the six applications, built at most once per key. */
+    SharedTrace app(const std::string &name, SimdKind kind,
+                    u32 imageBytes = appImageBytes, u64 seed = defaultSeed);
+
+    /** Number of traces actually generated (cache fills). */
+    u64 generations() const { return generations_.load(); }
+    /** Number of lookups served without regenerating. */
+    u64 hits() const { return hits_.load(); }
+    /** Number of distinct traces currently held. */
+    size_t size() const;
+
+    /**
+     * Drop all cached traces and reset the stats.  Only safe when no
+     * borrowed references (e.g. bench_util's kernelTrace()/appTrace(),
+     * which return references into this cache) are still live; intended
+     * for tests using a private cache, not for instance().
+     */
+    void clear();
+
+  private:
+    struct Key
+    {
+        bool isApp;
+        std::string name;
+        SimdKind kind;
+        u32 imageBytes;
+        u64 seed;
+
+        bool operator<(const Key &o) const
+        {
+            return std::tie(isApp, name, kind, imageBytes, seed) <
+                   std::tie(o.isApp, o.name, o.kind, o.imageBytes, o.seed);
+        }
+    };
+
+    struct Entry
+    {
+        std::mutex build;
+        SharedTrace trace; // null until generated
+    };
+
+    SharedTrace lookup(const Key &key);
+
+    mutable std::mutex registryMu_;
+    std::map<Key, std::shared_ptr<Entry>> entries_;
+    std::atomic<u64> generations_{0};
+    std::atomic<u64> hits_{0};
+};
+
+} // namespace vmmx
+
+#endif // VMMX_TRACE_TRACE_CACHE_HH

@@ -144,5 +144,51 @@ TEST(MemSys, ResetRestoresColdState)
     EXPECT_EQ(a, b);
 }
 
+// Regression: a store that misses both levels must mark the L2 line
+// dirty (scalarAccess used to pass isWrite=false to l2Lookup), so its
+// later L2 eviction is a writeback to memory, not a silent drop.
+TEST(MemSys, StoreMissDirtiesL2Line)
+{
+    MemParams mp = params2way();
+    MemorySystem ms(mp);
+    // Store that misses the L1 and the L2.
+    Cycle t = ms.scalarAccess(0xc000, 8, true, 0);
+    EXPECT_EQ(ms.l2WritebackCount(), 0u);
+    // Thrash the L2 set holding 0xc000 with clean loads until the dirty
+    // line is evicted; its eviction must count as an L2 writeback.
+    u32 setStride = mp.l2.sizeBytes / mp.l2.assoc;
+    for (u32 i = 1; i <= mp.l2.assoc + 1; ++i) {
+        t += 10000; // past the fill, so misses do not merge in the MSHRs
+        t = ms.scalarAccess(0xc000 + Addr(i) * setStride, 8, false, t);
+    }
+    EXPECT_GE(ms.l2WritebackCount(), 1u);
+}
+
+// The merge path of the fixed l2Lookup: a store folding into an
+// outstanding miss of the same line must also leave the line dirty.
+TEST(MemSys, StoreMergingIntoOutstandingMissDirtiesL2Line)
+{
+    MemParams mp = params2way();
+    MemorySystem ms(mp);
+    // Load starts the 500-cycle miss to 0xd000.
+    Cycle t = ms.scalarAccess(0xd000, 8, false, 0);
+    // Evict the (clean) L1 copy while the L2 fill is still in flight, so
+    // the following store reaches l2Lookup instead of hitting the L1.
+    u32 l1SetStride = mp.l1.sizeBytes / mp.l1.assoc;
+    Cycle w = 1;
+    for (u32 i = 1; i <= mp.l1.assoc; ++i)
+        w = ms.scalarAccess(0xd000 + Addr(i) * l1SetStride, 8, false, w) -
+            400; // stay inside the original miss window
+    // Store merges into the outstanding miss of the same line.
+    ms.scalarAccess(0xd008, 8, true, w);
+    // Thrash the L2 set: the merged store's line must write back.
+    u32 setStride = mp.l2.sizeBytes / mp.l2.assoc;
+    for (u32 i = 1; i <= mp.l2.assoc + 1; ++i) {
+        t += 10000;
+        t = ms.scalarAccess(0xd000 + Addr(i) * setStride, 8, false, t);
+    }
+    EXPECT_GE(ms.l2WritebackCount(), 1u);
+}
+
 } // namespace
 } // namespace vmmx

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Sweep-engine and trace-cache tests: a multi-threaded sweep must be
+ * bit-identical to the serial loop, results must come back in submission
+ * order, and repeated trace lookups must hit the cache instead of
+ * regenerating.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "harness/sweep.hh"
+#include "kernels/kernel.hh"
+#include "trace/trace_cache.hh"
+
+namespace vmmx
+{
+namespace
+{
+
+class SweepTest : public testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+
+    /** A private cache per test so generation counts start at zero. */
+    TraceCache cache;
+};
+
+TEST_F(SweepTest, TraceCacheGeneratesOncePerKey)
+{
+    EXPECT_EQ(cache.generations(), 0u);
+    auto t1 = cache.kernel("idct", SimdKind::VMMX128);
+    EXPECT_EQ(cache.generations(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+
+    // Second and third lookups of the same key: cache hits, no
+    // regeneration, same shared immutable trace object.
+    auto t2 = cache.kernel("idct", SimdKind::VMMX128);
+    auto t3 = cache.kernel("idct", SimdKind::VMMX128);
+    EXPECT_EQ(cache.generations(), 1u);
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(t1.get(), t2.get());
+    EXPECT_EQ(t1.get(), t3.get());
+
+    // A different key generates again.
+    cache.kernel("idct", SimdKind::MMX64);
+    EXPECT_EQ(cache.generations(), 2u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST_F(SweepTest, TraceCacheDistinguishesKindAndWorkload)
+{
+    auto a = cache.kernel("motion1", SimdKind::MMX64);
+    auto b = cache.kernel("motion1", SimdKind::MMX128);
+    auto c = cache.kernel("motion2", SimdKind::MMX64);
+    EXPECT_EQ(cache.generations(), 3u);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_NE(a.get(), c.get());
+    // Traces are genuinely different programs.
+    EXPECT_NE(a->size(), 0u);
+    EXPECT_NE(b->size(), 0u);
+}
+
+TEST_F(SweepTest, CachedTraceMatchesDirectGeneration)
+{
+    auto cached = cache.kernel("ycc", SimdKind::VMMX64);
+
+    auto k = makeKernel("ycc");
+    MemImage mem(TraceCache::kernelImageBytes);
+    Rng rng(TraceCache::defaultSeed);
+    k->prepare(mem, rng);
+    Program p(mem, SimdKind::VMMX64);
+    k->emit(p);
+    auto direct = p.takeTrace();
+
+    ASSERT_EQ(cached->size(), direct.size());
+    for (size_t i = 0; i < direct.size(); ++i) {
+        EXPECT_EQ((*cached)[i].op, direct[i].op) << "at " << i;
+        EXPECT_EQ((*cached)[i].addr, direct[i].addr) << "at " << i;
+        EXPECT_EQ((*cached)[i].staticId, direct[i].staticId) << "at " << i;
+    }
+}
+
+TEST_F(SweepTest, ParallelSweepBitIdenticalToSerial)
+{
+    // >= 8 (kernel x flavour x width) points with distinct shapes.
+    SweepOptions serialOpts;
+    serialOpts.cache = &cache;
+    serialOpts.threads = 1;
+    SweepOptions poolOpts;
+    poolOpts.cache = &cache;
+    poolOpts.threads = 4;
+
+    auto build = [](Sweep &s) {
+        s.addKernelGrid({"idct", "h2v2"},
+                        {SimdKind::MMX64, SimdKind::VMMX128}, {2, 4});
+        s.addKernel("motion1", SimdKind::MMX128, 8);
+        s.addApp("gsmenc", SimdKind::VMMX64, 4);
+    };
+
+    Sweep serial(serialOpts);
+    Sweep pooled(poolOpts);
+    build(serial);
+    build(pooled);
+    ASSERT_GE(serial.size(), 8u);
+
+    auto a = serial.runSerial();
+    auto b = pooled.run();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_TRUE(a[i].sameRun(b[i])) << "point " << i << " ("
+                                        << a[i].point.label() << ")";
+        EXPECT_EQ(a[i].point.label(), b[i].point.label());
+    }
+
+    // Repeated threaded runs stay deterministic.
+    auto c = pooled.run();
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_TRUE(a[i].sameRun(c[i])) << "point " << i;
+}
+
+TEST_F(SweepTest, SweepSharesTracesAcrossPoints)
+{
+    SweepOptions opts;
+    opts.cache = &cache;
+    opts.threads = 4;
+    Sweep sweep(opts);
+    // 3 widths x 2 flavours of one kernel: 6 points, 2 distinct traces.
+    sweep.addKernelGrid({"rgb"}, {SimdKind::MMX64, SimdKind::VMMX128},
+                        {2, 4, 8});
+    auto results = sweep.run();
+    EXPECT_EQ(results.size(), 6u);
+    EXPECT_EQ(cache.generations(), 2u);
+    EXPECT_EQ(cache.hits(), 4u);
+
+    // Same trace => same dynamic length at every width.
+    EXPECT_EQ(results[0].traceLength, results[1].traceLength);
+    EXPECT_EQ(results[0].traceLength, results[2].traceLength);
+}
+
+TEST_F(SweepTest, ExplicitTracePointsRun)
+{
+    auto trace = cache.kernel("addblock", SimdKind::MMX64);
+    auto results = sweepTrace(trace, SimdKind::MMX64, {2, 4, 8});
+    ASSERT_EQ(results.size(), 3u);
+    // Wider machines are not slower on the same trace.
+    EXPECT_GE(results[0].cycles(), results[1].cycles());
+    EXPECT_GE(results[1].cycles(), results[2].cycles());
+}
+
+TEST_F(SweepTest, ResultsMatchDirectRunTrace)
+{
+    SweepOptions opts;
+    opts.cache = &cache;
+    opts.threads = 2;
+    Sweep sweep(opts);
+    sweep.addKernel("ltpfilt", SimdKind::VMMX128, 4);
+    auto results = sweep.run();
+    ASSERT_EQ(results.size(), 1u);
+
+    auto trace = cache.kernel("ltpfilt", SimdKind::VMMX128);
+    RunResult direct = runTrace(makeMachine(SimdKind::VMMX128, 4), *trace);
+    EXPECT_TRUE(results[0].result == direct);
+}
+
+} // namespace
+} // namespace vmmx
