@@ -131,9 +131,9 @@ main()
                   TextTable::num(tBase / tPooled)});
     table.print(std::cout);
 
-    auto &cache = TraceCache::instance();
-    std::cout << "\ntrace cache: " << cache.generations()
-              << " generations, " << cache.hits() << " hits\n";
+    // Sweep summary: resident bytes and any VMMX_TRACE_CACHE_BUDGET are
+    // part of the one-line cache report.
+    std::cout << '\n' << TraceCache::instance().summary() << '\n';
     std::cout << "results bit-identical across variants: "
               << (identical ? "yes" : "NO") << '\n';
 

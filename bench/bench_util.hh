@@ -16,6 +16,9 @@
 #define VMMX_BENCH_BENCH_UTIL_HH
 
 #include <iostream>
+#include <map>
+#include <mutex>
+#include <tuple>
 
 #include "apps/app.hh"
 #include "common/table.hh"
@@ -33,20 +36,46 @@ struct TimedRun
     std::array<u64, numInstClasses> instByClass{};
 };
 
+/**
+ * Trace-by-reference lookup with a process-lifetime pin.  The helpers
+ * below hand out references; with a VMMX_TRACE_CACHE_BUDGET set the
+ * process-wide cache may drop RAM copies of disk-backed traces (and a
+ * reload builds a *new* vector), so the first trace seen for a key is
+ * pinned here and every later call returns that same pinned object --
+ * stable references, no per-call growth.
+ */
+inline const std::vector<InstRecord> &
+pinnedTrace(bool isApp, const std::string &name, SimdKind kind)
+{
+    static std::mutex mu;
+    static std::map<std::tuple<bool, std::string, SimdKind>, SharedTrace>
+        pinned;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = pinned.find({isApp, name, kind});
+        if (it != pinned.end())
+            return *it->second;
+    }
+    SharedTrace t = isApp ? TraceCache::instance().app(name, kind)
+                          : TraceCache::instance().kernel(name, kind);
+    std::lock_guard<std::mutex> lock(mu);
+    auto [it, inserted] = pinned.try_emplace({isApp, name, kind},
+                                             std::move(t));
+    return *it->second;
+}
+
 /** Kernel trace for (name, kind), memoized in the process-wide cache. */
 inline const std::vector<InstRecord> &
 kernelTrace(const std::string &kernel, SimdKind kind)
 {
-    // The cache retains the shared trace for the process lifetime, so the
-    // reference stays valid.
-    return *TraceCache::instance().kernel(kernel, kind);
+    return pinnedTrace(false, kernel, kind);
 }
 
 /** App trace for (name, kind), memoized in the process-wide cache. */
 inline const std::vector<InstRecord> &
 appTrace(const std::string &app, SimdKind kind)
 {
-    return *TraceCache::instance().app(app, kind);
+    return pinnedTrace(true, app, kind);
 }
 
 inline TimedRun

@@ -1,0 +1,480 @@
+#include "dist/driver.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "dist/protocol.hh"
+#include "dist/worker.hh"
+#include "harness/harness_io.hh"
+#include "trace/trace_store.hh"
+
+namespace vmmx::dist
+{
+
+namespace
+{
+
+constexpr u32 journalMagic = 0x4c4a4d56; // "VMJL" little-endian
+constexpr u32 journalVersion = 1;
+/** Jobs kept in flight per worker: one running, one queued behind it so
+ *  the worker never idles waiting on the driver's scheduling latency. */
+constexpr unsigned pipelineDepth = 2;
+
+struct WorkerProc
+{
+    pid_t pid = -1;
+    int fd = -1;
+    std::deque<u32> shard; ///< remaining submission indices, front first
+    unsigned outstanding = 0;
+    bool doneSent = false;
+    bool statsSeen = false;
+};
+
+// ---- journal ------------------------------------------------------------
+
+/**
+ * Restore completed entries from @p path into @p results/@p have.
+ * Stops quietly at the first truncated or corrupt entry (a crash can cut
+ * an append short; everything before it is still good) and reports the
+ * end of the valid prefix in @p validEnd so the caller can truncate the
+ * damage away before appending.
+ * @return false when the file is missing or belongs to a different grid.
+ */
+bool
+journalLoad(const std::string &path, u64 signature,
+            std::vector<SweepResult> &results, std::vector<bool> &have,
+            u64 &restored, u64 &validEnd)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    in.seekg(0, std::ios::end);
+    u64 fileSize = u64(in.tellg());
+    in.seekg(0, std::ios::beg);
+
+    auto readExact = [&in](void *dst, size_t n) {
+        return bool(in.read(static_cast<char *>(dst), std::streamsize(n)));
+    };
+
+    u8 hdr[16];
+    if (!readExact(hdr, sizeof(hdr)))
+        return false;
+    wire::Reader hr(hdr, sizeof(hdr));
+    if (hr.fixed32() != journalMagic || hr.fixed32() != journalVersion) {
+        warn("journal '%s' has a bad header; starting fresh", path.c_str());
+        return false;
+    }
+    if (hr.fixed64() != signature) {
+        warn("journal '%s' is for a different grid; starting fresh",
+             path.c_str());
+        return false;
+    }
+    validEnd = sizeof(hdr);
+
+    for (;;) {
+        u8 lenBytes[4];
+        if (!readExact(lenBytes, 4))
+            break;
+        wire::Reader lr(lenBytes, 4);
+        u32 len = lr.fixed32();
+        // A corrupt length prefix must read as a damaged tail, not an
+        // attempted multi-GiB allocation.
+        if (validEnd + 4 + u64(len) + 8 > fileSize)
+            break;
+        std::vector<u8> payload(len);
+        u8 sumBytes[8];
+        if (!readExact(payload.data(), len) || !readExact(sumBytes, 8))
+            break; // truncated tail: crash mid-append
+        wire::Reader sr(sumBytes, 8);
+        if (sr.fixed64() != wire::fnv1a(payload.data(), payload.size()))
+            break;
+        ResultMsg m;
+        if (!decode(payload, m) || m.index >= results.size())
+            break;
+        if (!have[m.index]) {
+            results[m.index].result = m.result;
+            results[m.index].traceLength = m.traceLength;
+            have[m.index] = true;
+            ++restored;
+        }
+        validEnd += 4 + len + 8;
+    }
+    return true;
+}
+
+/** Append one checksummed entry; @p payload is an encoded ResultMsg
+ *  (the received Result frame bytes can be reused verbatim). */
+void
+journalAppend(std::ofstream &out, const std::vector<u8> &payload)
+{
+    wire::Writer frame;
+    frame.fixed32(u32(payload.size()));
+    frame.bytes(payload.data(), payload.size());
+    frame.fixed64(wire::fnv1a(payload.data(), payload.size()));
+    out.write(reinterpret_cast<const char *>(frame.buffer().data()),
+              std::streamsize(frame.size()));
+    out.flush(); // each completed point survives a driver crash
+}
+
+void
+journalWriteHeader(std::ofstream &out, u64 signature)
+{
+    wire::Writer hdr;
+    hdr.fixed32(journalMagic);
+    hdr.fixed32(journalVersion);
+    hdr.fixed64(signature);
+    out.write(reinterpret_cast<const char *>(hdr.buffer().data()),
+              std::streamsize(hdr.size()));
+    out.flush();
+}
+
+// ---- worker lifecycle ---------------------------------------------------
+
+void
+setCloexec(int fd)
+{
+    int flags = fcntl(fd, F_GETFD);
+    if (flags >= 0)
+        fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+WorkerProc
+spawnWorker(const DistOptions &opts, const std::vector<int> &parentFds)
+{
+    int sv[2];
+    if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0)
+        fatal("socketpair failed: %s", std::strerror(errno));
+    setCloexec(sv[0]);
+
+    pid_t pid = fork();
+    if (pid < 0)
+        fatal("fork failed: %s", std::strerror(errno));
+    if (pid == 0) {
+        // Child: drop every parent-side descriptor inherited so far so a
+        // dead driver reads as EOF everywhere.
+        ::close(sv[0]);
+        for (int fd : parentFds)
+            ::close(fd);
+        if (opts.execPath.empty()) {
+            ::_exit(workerServe(sv[1]));
+        } else {
+            std::vector<std::string> args;
+            args.push_back(opts.execPath);
+            args.insert(args.end(), opts.execArgs.begin(),
+                        opts.execArgs.end());
+            args.push_back("--worker");
+            args.push_back("--fd");
+            args.push_back(std::to_string(sv[1]));
+            std::vector<char *> argv;
+            for (auto &a : args)
+                argv.push_back(a.data());
+            argv.push_back(nullptr);
+            execv(opts.execPath.c_str(), argv.data());
+            ::_exit(127); // exec failed
+        }
+    }
+    ::close(sv[1]);
+    WorkerProc w;
+    w.pid = pid;
+    w.fd = sv[0];
+    return w;
+}
+
+/**
+ * Next index for @p self: its own shard front, else steal from the tail
+ * of the fullest other shard (the tail is the work the victim would get
+ * to last, so stealing it minimizes contention on hot cache entries).
+ */
+bool
+nextJobFor(std::vector<WorkerProc> &workers, WorkerProc &self, u32 &index,
+           u64 &steals)
+{
+    if (!self.shard.empty()) {
+        index = self.shard.front();
+        self.shard.pop_front();
+        return true;
+    }
+    WorkerProc *victim = nullptr;
+    for (auto &w : workers)
+        if (!w.shard.empty() &&
+            (!victim || w.shard.size() > victim->shard.size()))
+            victim = &w;
+    if (!victim)
+        return false;
+    index = victim->shard.back();
+    victim->shard.pop_back();
+    ++steals;
+    return true;
+}
+
+void
+sendJob(WorkerProc &w, u32 index, const std::vector<SweepPoint> &points)
+{
+    JobMsg job;
+    job.index = index;
+    job.point = points[index];
+    if (!wire::writeFrame(w.fd, encode(job)))
+        fatal("lost connection to worker pid %d while sending job %u",
+              int(w.pid), index);
+    ++w.outstanding;
+}
+
+} // namespace
+
+std::string
+DistStats::summary() const
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1);
+    os << "dist: " << workers << " workers, " << jobsRun << " jobs run, "
+       << jobsResumed << " resumed from journal, " << steals << " stolen; "
+       << "worker caches: " << generations << " generations, " << hits
+       << " hits, " << diskLoads << " disk loads, " << storeSaves
+       << " store saves, " << bytesResident / (1024.0 * 1024.0)
+       << " MiB resident at exit";
+    return os.str();
+}
+
+u64
+gridSignature(const std::vector<SweepPoint> &points)
+{
+    wire::Writer w;
+    w.varint(points.size());
+    for (const auto &p : points)
+        serialize(w, p);
+    return wire::fnv1a(w.buffer().data(), w.size());
+}
+
+std::vector<SweepResult>
+runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
+         DistStats *stats)
+{
+    vmmx_assert(opts.processes >= 1,
+                "distributed sweep needs at least one worker");
+    DistStats local;
+    DistStats &st = stats ? *stats : local;
+    st = DistStats{};
+
+    std::vector<SweepResult> results(points.size());
+    std::vector<bool> have(points.size(), false);
+    for (size_t i = 0; i < points.size(); ++i)
+        results[i].point = points[i];
+    if (points.empty())
+        return results;
+
+    // ---- journal restore ------------------------------------------------
+    const u64 signature = gridSignature(points);
+    std::ofstream journal;
+    if (!opts.journalPath.empty()) {
+        u64 validEnd = 0;
+        bool valid = journalLoad(opts.journalPath, signature, results, have,
+                                 st.jobsResumed, validEnd);
+        if (valid) {
+            // Drop any half-written tail so appended entries stay
+            // reachable on the next resume.
+            std::error_code ec;
+            std::filesystem::resize_file(opts.journalPath, validEnd, ec);
+            if (ec) {
+                // Appending after corrupt bytes would strand the new
+                // entries behind them on the next load; rewrite the
+                // journal from the restored state instead.
+                warn("cannot drop damaged tail of journal '%s' (%s); "
+                     "rewriting it", opts.journalPath.c_str(),
+                     ec.message().c_str());
+                valid = false;
+            } else {
+                journal.open(opts.journalPath,
+                             std::ios::binary | std::ios::app);
+            }
+        }
+        if (!valid) {
+            journal.open(opts.journalPath,
+                         std::ios::binary | std::ios::trunc);
+            journalWriteHeader(journal, signature);
+            for (size_t i = 0; i < results.size(); ++i) {
+                if (!have[i])
+                    continue;
+                ResultMsg m;
+                m.index = u32(i);
+                m.traceLength = results[i].traceLength;
+                m.result = results[i].result;
+                journalAppend(journal, encode(m));
+            }
+        }
+        if (!journal)
+            fatal("cannot open journal '%s'", opts.journalPath.c_str());
+    }
+
+    std::vector<u32> pending;
+    for (size_t i = 0; i < points.size(); ++i)
+        if (!have[i])
+            pending.push_back(u32(i));
+    size_t remaining = pending.size();
+    if (remaining == 0)
+        return results; // fully resumed; nothing to spawn
+
+    // Writing to a worker that died must surface as an EPIPE error code,
+    // not kill the driver.
+    struct sigaction ignore = {}, oldPipe = {};
+    ignore.sa_handler = SIG_IGN;
+    sigaction(SIGPIPE, &ignore, &oldPipe);
+
+    // ---- spawn and shard ------------------------------------------------
+    const unsigned n = unsigned(
+        std::min<size_t>(opts.processes, remaining));
+    st.workers = n;
+    SetupMsg setup;
+    setup.storeDir =
+        opts.storeDir.empty() ? TraceStore::defaultDir() : opts.storeDir;
+    setup.cacheBudget = opts.cacheBudget;
+    setup.quiet = opts.quiet;
+
+    std::vector<WorkerProc> workers;
+    workers.reserve(n);
+    std::vector<int> parentFds;
+    for (unsigned w = 0; w < n; ++w) {
+        workers.push_back(spawnWorker(opts, parentFds));
+        parentFds.push_back(workers.back().fd);
+    }
+    // Contiguous shards keep each worker's trace working set small (grid
+    // builders emit points for one workload consecutively).
+    for (unsigned w = 0; w < n; ++w) {
+        size_t lo = remaining * w / n, hi = remaining * (w + 1) / n;
+        workers[w].shard.assign(pending.begin() + lo, pending.begin() + hi);
+    }
+    for (auto &w : workers) {
+        if (!wire::writeFrame(w.fd, encode(setup)))
+            fatal("lost connection to worker pid %d during setup",
+                  int(w.pid));
+        // Own-shard jobs only here: stealing during startup could leave a
+        // later worker with no job and therefore no Result to trigger its
+        // Done handshake.
+        for (unsigned k = 0; k < pipelineDepth && !w.shard.empty(); ++k) {
+            u32 index = w.shard.front();
+            w.shard.pop_front();
+            sendJob(w, index, points);
+        }
+    }
+
+    // ---- event loop ------------------------------------------------------
+    auto allStatsSeen = [&]() {
+        for (const auto &w : workers)
+            if (!w.statsSeen)
+                return false;
+        return true;
+    };
+
+    std::vector<u8> frame;
+    while (remaining > 0 || !allStatsSeen()) {
+        std::vector<pollfd> pfds;
+        for (const auto &w : workers)
+            if (w.fd >= 0 && !w.statsSeen)
+                pfds.push_back({w.fd, POLLIN, 0});
+        if (pfds.empty())
+            break;
+        if (poll(pfds.data(), nfds_t(pfds.size()), -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("poll failed: %s", std::strerror(errno));
+        }
+        for (const auto &p : pfds) {
+            if (!(p.revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            WorkerProc *w = nullptr;
+            for (auto &cand : workers)
+                if (cand.fd == p.fd)
+                    w = &cand;
+            vmmx_assert(w != nullptr, "poll returned unknown fd");
+
+            if (!wire::readFrame(w->fd, frame)) {
+                if (opts.journalPath.empty())
+                    fatal("worker pid %d died with %u jobs in flight",
+                          int(w->pid), w->outstanding);
+                fatal("worker pid %d died with %u jobs in flight; rerun "
+                      "with --journal '%s' to resume",
+                      int(w->pid), w->outstanding,
+                      opts.journalPath.c_str());
+            }
+            switch (frameType(frame)) {
+              case Msg::Result: {
+                ResultMsg m;
+                if (!decode(frame, m) || m.index >= results.size() ||
+                    have[m.index])
+                    fatal("worker pid %d sent a malformed result",
+                          int(w->pid));
+                results[m.index].result = m.result;
+                results[m.index].traceLength = m.traceLength;
+                have[m.index] = true;
+                --remaining;
+                --w->outstanding;
+                ++st.jobsRun;
+                if (journal.is_open())
+                    journalAppend(journal, frame); // same bytes as encode(m)
+                u32 index;
+                if (nextJobFor(workers, *w, index, st.steals)) {
+                    sendJob(*w, index, points);
+                } else if (w->outstanding == 0 && !w->doneSent) {
+                    if (!wire::writeFrame(w->fd, encodeDone()))
+                        fatal("lost connection to worker pid %d",
+                              int(w->pid));
+                    w->doneSent = true;
+                }
+                break;
+              }
+              case Msg::Stats: {
+                StatsMsg m;
+                if (!decode(frame, m))
+                    fatal("worker pid %d sent malformed stats",
+                          int(w->pid));
+                st.generations += m.generations;
+                st.hits += m.hits;
+                st.diskLoads += m.diskLoads;
+                st.storeSaves += m.storeSaves;
+                st.bytesResident += m.bytesResident;
+                w->statsSeen = true;
+                break;
+              }
+              case Msg::Error: {
+                std::string what;
+                decodeError(frame, what);
+                fatal("worker pid %d failed: %s", int(w->pid),
+                      what.c_str());
+              }
+              default:
+                fatal("unexpected frame type %u from worker pid %d",
+                      unsigned(frameType(frame)), int(w->pid));
+            }
+        }
+    }
+
+    // ---- teardown --------------------------------------------------------
+    for (auto &w : workers) {
+        if (w.fd >= 0) {
+            ::close(w.fd);
+            w.fd = -1;
+        }
+        int status = 0;
+        if (waitpid(w.pid, &status, 0) == w.pid &&
+            (!WIFEXITED(status) || WEXITSTATUS(status) != 0))
+            warn("worker pid %d exited abnormally after completing its "
+                 "jobs", int(w.pid));
+    }
+    sigaction(SIGPIPE, &oldPipe, nullptr);
+    vmmx_assert(remaining == 0, "distributed sweep lost grid points");
+    return results;
+}
+
+} // namespace vmmx::dist

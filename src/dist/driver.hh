@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Driver side of the distributed sweep subsystem.
+ *
+ * runSweep() shards a grid of SweepPoints across N worker processes.
+ * Workers are spawned from this process (fork, or fork+exec of
+ * DistOptions::execPath for binaries that install the self-exec hook) and
+ * speak the length-prefixed frame protocol of dist/protocol.hh over a
+ * socketpair.  Each worker starts with a contiguous shard of the grid;
+ * a worker that drains its own shard steals jobs from the tail of the
+ * largest remaining shard, so stragglers (one worker stuck on mpeg2enc)
+ * cannot serialize the sweep.
+ *
+ * Completed results are journaled to disk as they arrive (optional), so
+ * a crashed or interrupted sweep resumes from where it stopped: rerun
+ * with the same journal path and only the missing grid points execute.
+ * The journal is validated against a signature of the full grid and is
+ * kept after success -- delete it to force recomputation.
+ *
+ * Aggregation is by submission index into a pre-sized result vector, so
+ * the output order -- and, because per-job state is private and traces
+ * are immutable and deterministic in their TraceKey -- every byte of the
+ * results is identical to Sweep::runSerial() on the same grid.
+ */
+
+#ifndef VMMX_DIST_DRIVER_HH
+#define VMMX_DIST_DRIVER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/sweep.hh"
+#include "trace/trace_cache.hh"
+
+namespace vmmx::dist
+{
+
+/** Aggregate execution statistics of one distributed run. */
+struct DistStats
+{
+    // Summed over all workers' private trace caches.
+    u64 generations = 0; ///< traces actually generated this run
+    u64 hits = 0;        ///< lookups served from worker RAM
+    u64 diskLoads = 0;   ///< lookups served from the on-disk TraceStore
+    u64 storeSaves = 0;  ///< traces newly persisted to the store
+    u64 bytesResident = 0; ///< trace bytes held across workers at exit
+    // Driver-side scheduling counters.
+    u64 jobsRun = 0;     ///< grid points executed by workers
+    u64 jobsResumed = 0; ///< grid points restored from the journal
+    u64 steals = 0;      ///< jobs migrated off another worker's shard
+    unsigned workers = 0;
+
+    std::string summary() const;
+};
+
+struct DistOptions
+{
+    /** Worker process count (>= 1). */
+    unsigned processes = 2;
+    /** Trace store directory; "" uses TraceStore::defaultDir(). */
+    std::string storeDir;
+    /** Per-worker trace-cache RAM budget; 0 = unlimited. */
+    u64 cacheBudget = TraceCache::budgetFromEnv();
+    /** Crash-resume journal file; "" disables journaling. */
+    std::string journalPath;
+    /** Suppress worker warn()/inform() output. */
+    bool quiet = vmmx::quiet();
+    /** Binary to self-exec as the worker ("" forks without exec).  The
+     *  target's main() must call maybeWorkerMain() first. */
+    std::string execPath;
+    /** Extra argv for execPath, before the appended "--worker --fd N". */
+    std::vector<std::string> execArgs;
+};
+
+/** Stable signature of a grid (journal validation). */
+u64 gridSignature(const std::vector<SweepPoint> &points);
+
+/**
+ * Run every point of @p points across worker processes and return the
+ * results in submission order, bit-identical to the serial sweep.
+ * Fatal on unrecoverable errors (worker death mid-job); an interrupted
+ * journaled run resumes on the next invocation.
+ */
+std::vector<SweepResult> runSweep(const std::vector<SweepPoint> &points,
+                                  const DistOptions &opts,
+                                  DistStats *stats = nullptr);
+
+} // namespace vmmx::dist
+
+#endif // VMMX_DIST_DRIVER_HH

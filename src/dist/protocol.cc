@@ -1,0 +1,148 @@
+#include "dist/protocol.hh"
+
+#include "harness/harness_io.hh"
+
+namespace vmmx::dist
+{
+
+namespace
+{
+
+wire::Writer
+begin(Msg type)
+{
+    wire::Writer w;
+    w.byte(static_cast<u8>(type));
+    return w;
+}
+
+/** Body reader for a frame whose leading type byte was checked. */
+wire::Reader
+body(const std::vector<u8> &frame)
+{
+    return {frame.data() + 1, frame.size() - 1};
+}
+
+} // namespace
+
+Msg
+frameType(const std::vector<u8> &frame)
+{
+    return frame.empty() ? Msg(0) : static_cast<Msg>(frame[0]);
+}
+
+std::vector<u8>
+encode(const SetupMsg &m)
+{
+    wire::Writer w = begin(Msg::Setup);
+    w.fixed32(m.version);
+    w.str(m.storeDir);
+    w.varint(m.cacheBudget);
+    w.boolean(m.quiet);
+    return w.take();
+}
+
+bool
+decode(const std::vector<u8> &frame, SetupMsg &m)
+{
+    if (frameType(frame) != Msg::Setup)
+        return false;
+    wire::Reader r = body(frame);
+    m.version = r.fixed32();
+    m.storeDir = r.str();
+    m.cacheBudget = r.varint();
+    m.quiet = r.boolean();
+    return r.ok() && r.atEnd() && m.version == protocolVersion;
+}
+
+std::vector<u8>
+encode(const JobMsg &m)
+{
+    wire::Writer w = begin(Msg::Job);
+    w.fixed32(m.index);
+    serialize(w, m.point);
+    return w.take();
+}
+
+bool
+decode(const std::vector<u8> &frame, JobMsg &m)
+{
+    if (frameType(frame) != Msg::Job)
+        return false;
+    wire::Reader r = body(frame);
+    m.index = r.fixed32();
+    return deserialize(r, m.point) && r.atEnd();
+}
+
+std::vector<u8>
+encodeDone()
+{
+    return begin(Msg::Done).take();
+}
+
+std::vector<u8>
+encode(const ResultMsg &m)
+{
+    wire::Writer w = begin(Msg::Result);
+    w.fixed32(m.index);
+    w.varint(m.traceLength);
+    serialize(w, m.result);
+    return w.take();
+}
+
+bool
+decode(const std::vector<u8> &frame, ResultMsg &m)
+{
+    if (frameType(frame) != Msg::Result)
+        return false;
+    wire::Reader r = body(frame);
+    m.index = r.fixed32();
+    m.traceLength = r.varint();
+    return deserialize(r, m.result) && r.atEnd();
+}
+
+std::vector<u8>
+encode(const StatsMsg &m)
+{
+    wire::Writer w = begin(Msg::Stats);
+    w.varint(m.generations);
+    w.varint(m.hits);
+    w.varint(m.diskLoads);
+    w.varint(m.storeSaves);
+    w.varint(m.bytesResident);
+    return w.take();
+}
+
+bool
+decode(const std::vector<u8> &frame, StatsMsg &m)
+{
+    if (frameType(frame) != Msg::Stats)
+        return false;
+    wire::Reader r = body(frame);
+    m.generations = r.varint();
+    m.hits = r.varint();
+    m.diskLoads = r.varint();
+    m.storeSaves = r.varint();
+    m.bytesResident = r.varint();
+    return r.ok() && r.atEnd();
+}
+
+std::vector<u8>
+encodeError(const std::string &what)
+{
+    wire::Writer w = begin(Msg::Error);
+    w.str(what);
+    return w.take();
+}
+
+bool
+decodeError(const std::vector<u8> &frame, std::string &what)
+{
+    if (frameType(frame) != Msg::Error)
+        return false;
+    wire::Reader r = body(frame);
+    what = r.str();
+    return r.ok();
+}
+
+} // namespace vmmx::dist

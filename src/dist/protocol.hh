@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Driver/worker message protocol for distributed sweeps.
+ *
+ * Transport is a byte stream (a socketpair today; the framing is
+ * transport-agnostic) carrying length-prefixed frames whose payload is a
+ * one-byte message type followed by a typed body.  The driver opens with
+ * Setup, then streams Jobs; the worker answers each Job with a Result and
+ * answers the final Done with a Stats frame before exiting.  A worker
+ * that cannot continue sends Error and exits nonzero.
+ *
+ *   driver -> worker : Setup, Job*, Done
+ *   worker -> driver : Result*, Stats | Error
+ */
+
+#ifndef VMMX_DIST_PROTOCOL_HH
+#define VMMX_DIST_PROTOCOL_HH
+
+#include <string>
+#include <vector>
+
+#include "dist/wire.hh"
+#include "harness/runner.hh"
+#include "harness/sweep.hh"
+
+namespace vmmx::dist
+{
+
+constexpr u32 protocolVersion = 1;
+
+enum class Msg : u8
+{
+    Setup = 1, ///< driver->worker: session parameters
+    Job,       ///< driver->worker: one grid point to run
+    Done,      ///< driver->worker: no more jobs; reply Stats and exit
+    Result,    ///< worker->driver: finished grid point
+    Stats,     ///< worker->driver: end-of-session cache statistics
+    Error,     ///< worker->driver: fatal worker-side failure
+};
+
+struct SetupMsg
+{
+    u32 version = protocolVersion;
+    std::string storeDir; ///< trace store directory ("" = no store)
+    u64 cacheBudget = 0;  ///< worker trace-cache RAM budget (0 = unlimited)
+    bool quiet = true;
+};
+
+struct JobMsg
+{
+    u32 index = 0; ///< submission-order slot in the grid
+    SweepPoint point;
+};
+
+struct ResultMsg
+{
+    u32 index = 0;
+    u64 traceLength = 0;
+    RunResult result;
+};
+
+struct StatsMsg
+{
+    u64 generations = 0;
+    u64 hits = 0;
+    u64 diskLoads = 0;
+    u64 storeSaves = 0;
+    u64 bytesResident = 0;
+};
+
+std::vector<u8> encode(const SetupMsg &m);
+std::vector<u8> encode(const JobMsg &m);
+std::vector<u8> encodeDone();
+std::vector<u8> encode(const ResultMsg &m);
+std::vector<u8> encode(const StatsMsg &m);
+std::vector<u8> encodeError(const std::string &what);
+
+/** @return the type of @p frame, or Msg(0) on an empty frame. */
+Msg frameType(const std::vector<u8> &frame);
+
+/** Decode the body of a frame whose type was already checked. */
+bool decode(const std::vector<u8> &frame, SetupMsg &m);
+bool decode(const std::vector<u8> &frame, JobMsg &m);
+bool decode(const std::vector<u8> &frame, ResultMsg &m);
+bool decode(const std::vector<u8> &frame, StatsMsg &m);
+bool decodeError(const std::vector<u8> &frame, std::string &what);
+
+} // namespace vmmx::dist
+
+#endif // VMMX_DIST_PROTOCOL_HH

@@ -1,0 +1,207 @@
+#include "dist/wire.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+namespace vmmx::wire
+{
+
+u64
+fnv1a(const void *data, size_t n, u64 seed)
+{
+    const u8 *p = static_cast<const u8 *>(data);
+    u64 h = seed;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+Writer::fixed32(u32 v)
+{
+    for (int i = 0; i < 4; ++i)
+        byte(u8(v >> (8 * i)));
+}
+
+void
+Writer::fixed64(u64 v)
+{
+    for (int i = 0; i < 8; ++i)
+        byte(u8(v >> (8 * i)));
+}
+
+void
+Writer::varint(u64 v)
+{
+    while (v >= 0x80) {
+        byte(u8(v) | 0x80);
+        v >>= 7;
+    }
+    byte(u8(v));
+}
+
+void
+Writer::svarint(s64 v)
+{
+    // Zigzag: small magnitudes of either sign stay in one byte.
+    varint((u64(v) << 1) ^ u64(v >> 63));
+}
+
+void
+Writer::str(const std::string &s)
+{
+    varint(s.size());
+    bytes(s.data(), s.size());
+}
+
+void
+Writer::bytes(const void *data, size_t n)
+{
+    const u8 *p = static_cast<const u8 *>(data);
+    buf_.insert(buf_.end(), p, p + n);
+}
+
+bool
+Reader::need(size_t n)
+{
+    if (!ok_ || size_t(end_ - p_) < n) {
+        ok_ = false;
+        return false;
+    }
+    return true;
+}
+
+u8
+Reader::byte()
+{
+    if (!need(1))
+        return 0;
+    return *p_++;
+}
+
+u32
+Reader::fixed32()
+{
+    if (!need(4))
+        return 0;
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= u32(*p_++) << (8 * i);
+    return v;
+}
+
+u64
+Reader::fixed64()
+{
+    if (!need(8))
+        return 0;
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= u64(*p_++) << (8 * i);
+    return v;
+}
+
+u64
+Reader::varint()
+{
+    u64 v = 0;
+    for (unsigned shift = 0; shift < 70; shift += 7) {
+        u8 b = byte();
+        if (!ok_)
+            return 0;
+        v |= u64(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            return v;
+    }
+    ok_ = false; // > 10 continuation bytes: corrupt stream
+    return 0;
+}
+
+s64
+Reader::svarint()
+{
+    u64 z = varint();
+    return s64(z >> 1) ^ -s64(z & 1);
+}
+
+std::string
+Reader::str()
+{
+    u64 n = varint();
+    if (!need(n))
+        return {};
+    std::string s(reinterpret_cast<const char *>(p_), size_t(n));
+    p_ += n;
+    return s;
+}
+
+namespace
+{
+
+bool
+writeAll(int fd, const u8 *p, size_t n)
+{
+    while (n > 0) {
+        ssize_t w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= size_t(w);
+    }
+    return true;
+}
+
+/** @return 1 on success, 0 on clean EOF at the first byte, -1 on error. */
+int
+readAll(int fd, u8 *p, size_t n)
+{
+    bool first = true;
+    while (n > 0) {
+        ssize_t r = ::read(fd, p, n);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (r == 0)
+            return first ? 0 : -1;
+        first = false;
+        p += r;
+        n -= size_t(r);
+    }
+    return 1;
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, const std::vector<u8> &payload)
+{
+    u8 hdr[4];
+    u32 len = u32(payload.size());
+    for (int i = 0; i < 4; ++i)
+        hdr[i] = u8(len >> (8 * i));
+    return writeAll(fd, hdr, 4) &&
+           writeAll(fd, payload.data(), payload.size());
+}
+
+bool
+readFrame(int fd, std::vector<u8> &payload)
+{
+    u8 hdr[4];
+    if (readAll(fd, hdr, 4) != 1)
+        return false;
+    u32 len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= u32(hdr[i]) << (8 * i);
+    payload.resize(len);
+    return len == 0 || readAll(fd, payload.data(), len) == 1;
+}
+
+} // namespace vmmx::wire

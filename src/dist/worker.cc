@@ -1,0 +1,123 @@
+#include "dist/worker.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "dist/protocol.hh"
+#include "harness/runner.hh"
+#include "trace/trace_cache.hh"
+
+namespace vmmx::dist
+{
+
+namespace
+{
+
+SharedTrace
+resolveJobTrace(TraceCache &cache, const SweepPoint &point)
+{
+    switch (point.workload) {
+      case SweepPoint::Workload::Kernel:
+        return cache.get({false, point.name, point.kind,
+                          TraceCache::kernelImageBytes,
+                          TraceCache::defaultSeed});
+      case SweepPoint::Workload::App:
+        return cache.get({true, point.name, point.kind,
+                          TraceCache::appImageBytes,
+                          TraceCache::defaultSeed});
+      case SweepPoint::Workload::Trace:
+        return point.trace; // shipped inside the Job frame
+    }
+    panic("unknown sweep workload");
+}
+
+} // namespace
+
+int
+workerServe(int fd)
+{
+    std::vector<u8> frame;
+    if (!wire::readFrame(fd, frame)) {
+        ::close(fd);
+        return 1;
+    }
+    SetupMsg setup;
+    if (!decode(frame, setup)) {
+        wire::writeFrame(fd, encodeError("bad or missing Setup frame"));
+        ::close(fd);
+        return 1;
+    }
+    setQuiet(setup.quiet);
+
+    // A private cache (not instance()): its statistics then describe
+    // exactly this worker's jobs, and forked workers behave identically
+    // to self-exec'd ones instead of inheriting parent-warmed traces.
+    std::unique_ptr<TraceStore> store;
+    if (!setup.storeDir.empty())
+        store = std::make_unique<TraceStore>(setup.storeDir);
+    TraceCache cache(store.get(), setup.cacheBudget);
+
+    int rc = 1;
+    while (wire::readFrame(fd, frame)) {
+        Msg type = frameType(frame);
+        if (type == Msg::Done) {
+            StatsMsg stats;
+            stats.generations = cache.generations();
+            stats.hits = cache.hits();
+            stats.diskLoads = cache.diskLoads();
+            stats.storeSaves = store ? store->saves() : 0;
+            stats.bytesResident = cache.bytesResident();
+            wire::writeFrame(fd, encode(stats));
+            rc = 0;
+            break;
+        }
+        JobMsg job;
+        if (type != Msg::Job || !decode(frame, job)) {
+            wire::writeFrame(fd, encodeError("malformed frame from driver"));
+            break;
+        }
+
+        SharedTrace trace = resolveJobTrace(cache, job.point);
+        if (!trace) {
+            wire::writeFrame(
+                fd, encodeError("job " + std::to_string(job.index) +
+                                " carries no trace"));
+            break;
+        }
+        ResultMsg res;
+        res.index = job.index;
+        res.traceLength = trace->size();
+        res.result = runTrace(
+            makeMachine(job.point.kind, job.point.way, job.point.overrides),
+            *trace);
+        if (!wire::writeFrame(fd, encode(res)))
+            break; // driver went away; nothing useful left to do
+    }
+    ::close(fd);
+    return rc;
+}
+
+bool
+maybeWorkerMain(int argc, char **argv)
+{
+    int fd = -1;
+    bool worker = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--worker") == 0)
+            worker = true;
+        else if (std::strcmp(argv[i], "--fd") == 0 && i + 1 < argc)
+            fd = std::atoi(argv[i + 1]);
+    }
+    if (!worker)
+        return false;
+    if (fd < 0)
+        fatal("--worker requires --fd <descriptor>");
+    // _exit: a worker forked from a threaded or gtest parent must not run
+    // the parent's atexit handlers.
+    ::_exit(workerServe(fd));
+}
+
+} // namespace vmmx::dist

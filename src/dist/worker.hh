@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Worker side of the distributed sweep protocol: a job loop that serves
+ * grid points over one file descriptor until the driver sends Done.
+ *
+ * Workers are either forked children of the driver (library backend) or
+ * self-exec'd processes (`vmmx_sweepd --worker --fd N`); both run the
+ * same serve loop.  Each worker owns a private TraceCache so its
+ * generation/hit/disk-load statistics describe exactly the jobs it ran,
+ * with the shared on-disk TraceStore as the cross-process tier.
+ */
+
+#ifndef VMMX_DIST_WORKER_HH
+#define VMMX_DIST_WORKER_HH
+
+namespace vmmx::dist
+{
+
+/**
+ * Serve jobs over @p fd until a Done frame or EOF.  Blocks; returns the
+ * process exit code (0 on a clean shutdown).  Closes @p fd.
+ */
+int workerServe(int fd);
+
+/**
+ * Self-exec entry hook: if @p argv requests worker mode
+ * ("--worker --fd N"), serve on that descriptor and _exit() -- never
+ * returns in that case.  Call first thing in main() of any binary used
+ * as a DistOptions::execPath target.  @return false when argv is not a
+ * worker invocation.
+ */
+bool maybeWorkerMain(int argc, char **argv);
+
+} // namespace vmmx::dist
+
+#endif // VMMX_DIST_WORKER_HH

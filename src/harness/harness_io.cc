@@ -1,0 +1,140 @@
+#include "harness/harness_io.hh"
+
+#include "trace/trace_io.hh"
+
+namespace vmmx
+{
+
+void
+serialize(wire::Writer &w, const Config &c)
+{
+    auto keys = c.keys();
+    w.varint(keys.size());
+    for (const auto &k : keys) {
+        w.str(k);
+        w.str(c.getString(k));
+    }
+}
+
+bool
+deserialize(wire::Reader &r, Config &c)
+{
+    c = Config();
+    u64 n = r.varint();
+    if (n > r.remaining())
+        return false;
+    for (u64 i = 0; i < n; ++i) {
+        std::string k = r.str();
+        std::string v = r.str();
+        if (!r.ok())
+            return false;
+        c.set(k, v);
+    }
+    return r.ok();
+}
+
+void
+serialize(wire::Writer &w, const RunStats &s)
+{
+    w.varint(s.cycles);
+    w.varint(s.instructions);
+    for (u64 v : s.instByClass)
+        w.varint(v);
+    w.varint(s.scalarCycles);
+    w.varint(s.vectorCycles);
+    w.varint(s.branches);
+    w.varint(s.mispredicts);
+    w.varint(s.memOps);
+    w.varint(s.renameStallRegs);
+    w.varint(s.renameStallRob);
+    w.varint(s.renameStallIq);
+}
+
+bool
+deserialize(wire::Reader &r, RunStats &s)
+{
+    s.cycles = r.varint();
+    s.instructions = r.varint();
+    for (u64 &v : s.instByClass)
+        v = r.varint();
+    s.scalarCycles = r.varint();
+    s.vectorCycles = r.varint();
+    s.branches = r.varint();
+    s.mispredicts = r.varint();
+    s.memOps = r.varint();
+    s.renameStallRegs = r.varint();
+    s.renameStallRob = r.varint();
+    s.renameStallIq = r.varint();
+    return r.ok();
+}
+
+void
+serialize(wire::Writer &w, const RunResult &res)
+{
+    serialize(w, res.core);
+    w.varint(res.l1Hits);
+    w.varint(res.l1Misses);
+    w.varint(res.l2Hits);
+    w.varint(res.l2Misses);
+    w.varint(res.vecAccesses);
+    w.varint(res.cohInvalidations);
+}
+
+bool
+deserialize(wire::Reader &r, RunResult &res)
+{
+    if (!deserialize(r, res.core))
+        return false;
+    res.l1Hits = r.varint();
+    res.l1Misses = r.varint();
+    res.l2Hits = r.varint();
+    res.l2Misses = r.varint();
+    res.vecAccesses = r.varint();
+    res.cohInvalidations = r.varint();
+    return r.ok();
+}
+
+void
+serialize(wire::Writer &w, const SweepPoint &p)
+{
+    w.byte(static_cast<u8>(p.workload));
+    w.str(p.name);
+    w.byte(static_cast<u8>(p.kind));
+    w.varint(p.way);
+    serialize(w, p.overrides);
+    // Explicit-trace points ship the trace itself: a worker process has
+    // no other way to reconstruct a caller-built program.  This costs
+    // one full encode per grid point sharing the trace (plus one in
+    // gridSignature); if explicit-trace grids ever grow beyond a few
+    // ways, spill the trace to the TraceStore once and ship its key.
+    w.boolean(p.trace != nullptr);
+    if (p.trace)
+        encodeTrace(*p.trace, w);
+}
+
+bool
+deserialize(wire::Reader &r, SweepPoint &p)
+{
+    u8 workload = r.byte();
+    if (workload > static_cast<u8>(SweepPoint::Workload::Trace))
+        return false;
+    p.workload = static_cast<SweepPoint::Workload>(workload);
+    p.name = r.str();
+    u8 kind = r.byte();
+    if (kind > static_cast<u8>(SimdKind::VMMX128))
+        return false;
+    p.kind = static_cast<SimdKind>(kind);
+    p.way = unsigned(r.varint());
+    if (!deserialize(r, p.overrides))
+        return false;
+    p.trace = nullptr;
+    if (r.boolean()) {
+        auto t = std::make_shared<std::vector<InstRecord>>();
+        if (!decodeTrace(r, *t))
+            return false;
+        p.trace = std::move(t);
+    }
+    return r.ok();
+}
+
+} // namespace vmmx

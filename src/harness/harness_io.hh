@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Wire serialization hooks for the harness types that cross the
+ * driver/worker process boundary: Config (ablation overrides), RunStats
+ * and RunResult (the payload of a finished grid point), and SweepPoint
+ * (a job description, including the trace payload for explicit-trace
+ * points).  All round-trips are bit-exact; RunResult equality after a
+ * decode is the basis of the distributed determinism guarantee.
+ */
+
+#ifndef VMMX_HARNESS_HARNESS_IO_HH
+#define VMMX_HARNESS_HARNESS_IO_HH
+
+#include "common/config.hh"
+#include "dist/wire.hh"
+#include "harness/runner.hh"
+#include "harness/sweep.hh"
+
+namespace vmmx
+{
+
+void serialize(wire::Writer &w, const Config &c);
+bool deserialize(wire::Reader &r, Config &c);
+
+void serialize(wire::Writer &w, const RunStats &s);
+bool deserialize(wire::Reader &r, RunStats &s);
+
+void serialize(wire::Writer &w, const RunResult &res);
+bool deserialize(wire::Reader &r, RunResult &res);
+
+void serialize(wire::Writer &w, const SweepPoint &p);
+bool deserialize(wire::Reader &r, SweepPoint &p);
+
+} // namespace vmmx
+
+#endif // VMMX_HARNESS_HARNESS_IO_HH

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "dist/driver.hh"
 
 namespace vmmx
 {
@@ -11,8 +12,11 @@ namespace vmmx
 std::string
 SweepPoint::label() const
 {
-    return name + "/" + vmmx::name(kind) + "/" + std::to_string(way) +
-           "-way";
+    std::string s = name + "/" + vmmx::name(kind) + "/" +
+                    std::to_string(way) + "-way";
+    for (const auto &key : overrides.keys())
+        s += "+" + key + "=" + overrides.getString(key);
+    return s;
 }
 
 Sweep::Sweep(const SweepOptions &opts) : opts_(opts) {}
@@ -110,6 +114,14 @@ Sweep::runSerial() const
 std::vector<SweepResult>
 Sweep::run() const
 {
+    if (opts_.processes > 0) {
+        dist::DistOptions dopts;
+        dopts.processes = opts_.processes;
+        dopts.storeDir = opts_.storeDir;
+        dopts.journalPath = opts_.journalPath;
+        return dist::runSweep(points_, dopts, opts_.distStats);
+    }
+
     unsigned threads = opts_.threads;
     if (threads == 0) {
         threads = std::thread::hardware_concurrency();

@@ -27,6 +27,11 @@
 namespace vmmx
 {
 
+namespace dist
+{
+struct DistStats;
+}
+
 /** One grid point: a trace source plus the machine that replays it. */
 struct SweepPoint
 {
@@ -42,7 +47,9 @@ struct SweepPoint
     /** Pre-resolved trace (Workload::Trace only). */
     SharedTrace trace;
 
-    /** e.g. "idct/vmmx128/4-way". */
+    /** e.g. "idct/vmmx128/4-way", with any ablation overrides appended
+     *  ("+core.robEntries=64") so knob-only variants stay tellable
+     *  apart in bench output. */
     std::string label() const;
 };
 
@@ -69,6 +76,19 @@ struct SweepOptions
     unsigned threads = 0;
     /** Trace cache to resolve against; null uses the process-wide one. */
     TraceCache *cache = nullptr;
+
+    // ---- multi-process backend (src/dist/) ---------------------------
+    /** Worker process count; 0 stays on the in-process thread pool.
+     *  When > 0, run() shards the grid across forked worker processes
+     *  that share traces through the on-disk TraceStore; results remain
+     *  bit-identical to the serial loop. */
+    unsigned processes = 0;
+    /** Trace store directory; "" uses TraceStore::defaultDir(). */
+    std::string storeDir;
+    /** Crash-resume journal file; "" disables journaling. */
+    std::string journalPath;
+    /** Optional out-param for the distributed run's statistics. */
+    dist::DistStats *distStats = nullptr;
 };
 
 class Sweep

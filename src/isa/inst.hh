@@ -93,6 +93,9 @@ struct InstRecord
     /** Rows processed: vl for matrix ops, 1 otherwise. */
     u16 rows() const { return vl ? vl : 1; }
 
+    /** Bit-exact comparison (serialization round-trip checks). */
+    bool operator==(const InstRecord &o) const = default;
+
     /** Human-readable rendering for debugging. */
     std::string toString() const;
 };

@@ -1,6 +1,11 @@
 #include "trace/trace_cache.hh"
 
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
 #include "apps/app.hh"
+#include "common/logging.hh"
 #include "common/memimage.hh"
 #include "common/rng.hh"
 #include "kernels/kernel.hh"
@@ -9,11 +14,61 @@
 namespace vmmx
 {
 
+TraceCache::TraceCache(TraceStore *store, u64 budgetBytes)
+    : store_(store), budget_(budgetBytes)
+{}
+
 TraceCache &
 TraceCache::instance()
 {
-    static TraceCache cache;
+    // The disk tier is opt-in for the process-wide cache: benches that
+    // pin references for the process lifetime should not silently start
+    // writing files unless the user asked for a store.
+    static TraceStore *store = []() -> TraceStore * {
+        const char *env = std::getenv("VMMX_TRACE_STORE");
+        if (!env || !*env)
+            return nullptr;
+        static TraceStore s(env);
+        return &s;
+    }();
+    static TraceCache cache(store);
     return cache;
+}
+
+u64
+TraceCache::budgetFromEnv()
+{
+    const char *env = std::getenv("VMMX_TRACE_CACHE_BUDGET");
+    if (!env || !*env)
+        return 0;
+    // strtoull would silently wrap a leading '-' to a huge budget.
+    if (env[0] == '-') {
+        warn("ignoring negative VMMX_TRACE_CACHE_BUDGET='%s'", env);
+        return 0;
+    }
+    char *end = nullptr;
+    u64 v = std::strtoull(env, &end, 0);
+    if (end == env) {
+        warn("ignoring unparsable VMMX_TRACE_CACHE_BUDGET='%s'", env);
+        return 0;
+    }
+    switch (*end) {
+      case 'k': case 'K': v <<= 10; ++end; break;
+      case 'm': case 'M': v <<= 20; ++end; break;
+      case 'g': case 'G': v <<= 30; ++end; break;
+      default: break;
+    }
+    if (*end != '\0') {
+        warn("ignoring unparsable VMMX_TRACE_CACHE_BUDGET='%s'", env);
+        return 0;
+    }
+    return v;
+}
+
+void
+TraceCache::attachStore(TraceStore *store)
+{
+    store_ = store;
 }
 
 SharedTrace
@@ -30,6 +85,12 @@ TraceCache::app(const std::string &name, SimdKind kind, u32 imageBytes,
     return lookup({true, name, kind, imageBytes, seed});
 }
 
+SharedTrace
+TraceCache::get(const TraceKey &key)
+{
+    return lookup(key);
+}
+
 size_t
 TraceCache::size() const
 {
@@ -37,17 +98,37 @@ TraceCache::size() const
     return entries_.size();
 }
 
+std::string
+TraceCache::summary() const
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1);
+    os << "trace cache: " << size() << " traces, "
+       << bytesResident() / (1024.0 * 1024.0) << " MiB resident";
+    if (u64 b = budget())
+        os << " (budget " << b / (1024.0 * 1024.0) << " MiB, "
+           << evictions() << " evictions)";
+    os << ", " << generations() << " generations, " << hits() << " hits, "
+       << diskLoads() << " disk loads";
+    if (store_)
+        os << " [store: " << store_->dir() << "]";
+    return os.str();
+}
+
 void
 TraceCache::clear()
 {
     std::lock_guard<std::mutex> lock(registryMu_);
     entries_.clear();
+    bytesResident_ = 0;
     generations_ = 0;
     hits_ = 0;
+    diskLoads_ = 0;
+    evictions_ = 0;
 }
 
 SharedTrace
-TraceCache::lookup(const Key &key)
+TraceCache::lookup(const TraceKey &key)
 {
     std::shared_ptr<Entry> entry;
     {
@@ -61,32 +142,94 @@ TraceCache::lookup(const Key &key)
     std::lock_guard<std::mutex> build(entry->build);
     if (entry->trace) {
         ++hits_;
+        touchAndEnforceBudget(entry.get());
         return entry->trace;
     }
 
+    // Evicted or never built: try the disk tier first.
+    if (store_) {
+        if (SharedTrace t = store_->load(key)) {
+            entry->trace = std::move(t);
+            entry->bytes = entry->trace->size() * sizeof(InstRecord);
+            entry->onDisk = true;
+            entry->resident = true;
+            bytesResident_ += entry->bytes;
+            ++diskLoads_;
+            touchAndEnforceBudget(entry.get());
+            return entry->trace;
+        }
+    }
+
     std::vector<InstRecord> trace;
-    if (key.isApp) {
-        auto a = makeApp(key.name);
+    {
         MemImage mem(key.imageBytes);
         Rng rng(key.seed);
-        a->prepare(mem, rng);
-        Program p(mem, key.kind);
-        a->emit(p);
-        trace = p.takeTrace();
-    } else {
-        auto k = makeKernel(key.name);
-        MemImage mem(key.imageBytes);
-        Rng rng(key.seed);
-        k->prepare(mem, rng);
-        Program p(mem, key.kind);
-        k->emit(p);
-        trace = p.takeTrace();
+        if (key.isApp) {
+            auto a = makeApp(key.name);
+            a->prepare(mem, rng);
+            Program p(mem, key.kind);
+            a->emit(p);
+            trace = p.takeTrace();
+        } else {
+            auto k = makeKernel(key.name);
+            k->prepare(mem, rng);
+            Program p(mem, key.kind);
+            k->emit(p);
+            trace = p.takeTrace();
+        }
     }
 
     entry->trace =
         std::make_shared<const std::vector<InstRecord>>(std::move(trace));
+    entry->bytes = entry->trace->size() * sizeof(InstRecord);
+    entry->resident = true;
+    bytesResident_ += entry->bytes;
     ++generations_;
+    if (store_ && store_->save(key, *entry->trace))
+        entry->onDisk = true;
+    touchAndEnforceBudget(entry.get());
     return entry->trace;
+}
+
+void
+TraceCache::touchAndEnforceBudget(Entry *keep)
+{
+    keep->lastUse = ++useClock_;
+    u64 budget = budget_.load();
+    if (budget == 0 || bytesResident_.load() <= budget)
+        return;
+
+    std::lock_guard<std::mutex> lock(registryMu_);
+    while (bytesResident_.load() > budget) {
+        // Least-recently-used entry whose bytes are safe to drop: it has
+        // a RAM copy, that copy is mirrored on disk, and it is not the
+        // entry being returned right now.
+        Entry *victim = nullptr;
+        u64 oldest = ~0ull;
+        for (auto &kv : entries_) {
+            Entry *e = kv.second.get();
+            if (e == keep || !e->resident.load() || !e->onDisk.load())
+                continue;
+            if (e->lastUse.load() < oldest) {
+                oldest = e->lastUse.load();
+                victim = e;
+            }
+        }
+        if (!victim)
+            return; // everything left is pinned or not disk-backed
+        // try_lock is load-bearing: lookup() holds an entry lock while
+        // calling into here for registryMu_, so blocking on the victim's
+        // entry lock while holding registryMu_ would be a lock-order
+        // inversion (entry->registry vs registry->entry) and can
+        // deadlock.  A busy victim just ends this eviction pass.
+        if (!victim->build.try_lock())
+            return;
+        victim->trace.reset();
+        victim->resident = false;
+        bytesResident_ -= victim->bytes;
+        ++evictions_;
+        victim->build.unlock();
+    }
 }
 
 } // namespace vmmx

@@ -1,19 +1,31 @@
 /**
  * @file
- * Process-wide memoizing cache of generated instruction traces.
+ * Process-wide memoizing cache of generated instruction traces, with an
+ * optional persistent disk tier.
  *
  * Trace generation is execution driven (the Program DSL runs the kernel
- * functionally while recording), so a trace for a given
- * (workload, SimdKind, image-size, seed) key is deterministic and
- * immutable once built.  Sweeps over machine widths and cache/latency
+ * functionally while recording), so a trace for a given TraceKey
+ * (workload, SimdKind, image-size, seed) is deterministic and immutable
+ * once built.  Sweeps over machine widths and cache/latency
  * configurations replay the same trace many times; the cache guarantees
  * each distinct trace is built exactly once per process and then shared,
  * read-only, across all threads of the sweep engine.
+ *
+ * With a TraceStore attached, misses consult the on-disk tier before
+ * generating, fresh generations are spilled to disk, and a memory budget
+ * (VMMX_TRACE_CACHE_BUDGET, or setBudget()) bounds the bytes held in RAM:
+ * when exceeded, the least-recently-used disk-backed entries drop their
+ * RAM copy and reload from disk on the next lookup.  Outstanding
+ * SharedTrace handles keep evicted data alive until released, so eviction
+ * is always safe -- it only affects when memory is reclaimed.
  *
  * Thread model: lookups take a short registry lock to find or create the
  * entry, then build the trace under the entry's own mutex so concurrent
  * requests for *different* keys generate in parallel while concurrent
  * requests for the *same* key block until the first builder finishes.
+ * Eviction acquires entry mutexes only via try_lock while holding the
+ * registry lock, which lookups never hold while acquiring an entry
+ * mutex, so the two lock orders cannot deadlock.
  */
 
 #ifndef VMMX_TRACE_TRACE_CACHE_HH
@@ -26,14 +38,10 @@
 #include <string>
 #include <vector>
 
-#include "isa/inst.hh"
-#include "isa/simd_kind.hh"
+#include "trace/trace_store.hh"
 
 namespace vmmx
 {
-
-/** Immutable, shareable dynamic instruction trace. */
-using SharedTrace = std::shared_ptr<const std::vector<InstRecord>>;
 
 class TraceCache
 {
@@ -45,12 +53,33 @@ class TraceCache
     /** Default input-generation seed (matches the figure benches). */
     static constexpr u64 defaultSeed = 0xbeef;
 
-    TraceCache() = default;
+    /**
+     * @param store optional persistent tier (not owned; must outlive the
+     *              cache or be detached first).
+     * @param budgetBytes RAM budget; 0 = unlimited.  Only disk-backed
+     *              entries are ever evicted, so without a store the
+     *              budget is accounting-only.
+     */
+    explicit TraceCache(TraceStore *store = nullptr,
+                        u64 budgetBytes = budgetFromEnv());
     TraceCache(const TraceCache &) = delete;
     TraceCache &operator=(const TraceCache &) = delete;
 
-    /** The shared per-process cache used by benches and the sweep engine. */
+    /** The shared per-process cache used by benches and the sweep
+     *  engine.  Attaches a store iff $VMMX_TRACE_STORE is set. */
     static TraceCache &instance();
+
+    /** Parse $VMMX_TRACE_CACHE_BUDGET ("64M", "2G", plain bytes);
+     *  0/unset/invalid = unlimited. */
+    static u64 budgetFromEnv();
+
+    /** Attach (or with nullptr detach) the persistent tier.  Not
+     *  thread-safe against concurrent lookups; call before sweeping. */
+    void attachStore(TraceStore *store);
+    TraceStore *store() const { return store_; }
+
+    void setBudget(u64 bytes) { budget_.store(bytes); }
+    u64 budget() const { return budget_.load(); }
 
     /** Trace of a Table II kernel, built at most once per key. */
     SharedTrace kernel(const std::string &name, SimdKind kind,
@@ -61,12 +90,24 @@ class TraceCache
     SharedTrace app(const std::string &name, SimdKind kind,
                     u32 imageBytes = appImageBytes, u64 seed = defaultSeed);
 
+    /** Generic keyed lookup (distributed workers). */
+    SharedTrace get(const TraceKey &key);
+
     /** Number of traces actually generated (cache fills). */
     u64 generations() const { return generations_.load(); }
-    /** Number of lookups served without regenerating. */
+    /** Number of lookups served from a RAM-resident trace. */
     u64 hits() const { return hits_.load(); }
-    /** Number of distinct traces currently held. */
+    /** Number of lookups served by decoding the on-disk store. */
+    u64 diskLoads() const { return diskLoads_.load(); }
+    /** Number of RAM copies dropped to stay under the budget. */
+    u64 evictions() const { return evictions_.load(); }
+    /** Bytes of trace data currently held in RAM by this cache. */
+    u64 bytesResident() const { return bytesResident_.load(); }
+    /** Number of distinct traces currently known (resident or spilled). */
     size_t size() const;
+
+    /** One-line human summary for sweep/bench output. */
+    std::string summary() const;
 
     /**
      * Drop all cached traces and reset the stats.  Only safe when no
@@ -77,33 +118,33 @@ class TraceCache
     void clear();
 
   private:
-    struct Key
-    {
-        bool isApp;
-        std::string name;
-        SimdKind kind;
-        u32 imageBytes;
-        u64 seed;
-
-        bool operator<(const Key &o) const
-        {
-            return std::tie(isApp, name, kind, imageBytes, seed) <
-                   std::tie(o.isApp, o.name, o.kind, o.imageBytes, o.seed);
-        }
-    };
-
     struct Entry
     {
         std::mutex build;
-        SharedTrace trace; // null until generated
+        SharedTrace trace; // null until generated (or after eviction)
+        /** Redundant with trace != null, but readable without holding
+         *  build (eviction candidate scan). */
+        std::atomic<bool> resident{false};
+        std::atomic<bool> onDisk{false};
+        std::atomic<u64> lastUse{0};
+        u64 bytes = 0; // written under build before resident goes true
     };
 
-    SharedTrace lookup(const Key &key);
+    SharedTrace lookup(const TraceKey &key);
+    /** Update LRU stamp for @p keep and evict others past the budget. */
+    void touchAndEnforceBudget(Entry *keep);
+
+    TraceStore *store_ = nullptr;
+    std::atomic<u64> budget_;
 
     mutable std::mutex registryMu_;
-    std::map<Key, std::shared_ptr<Entry>> entries_;
+    std::map<TraceKey, std::shared_ptr<Entry>> entries_;
+    std::atomic<u64> useClock_{0};
+    std::atomic<u64> bytesResident_{0};
     std::atomic<u64> generations_{0};
     std::atomic<u64> hits_{0};
+    std::atomic<u64> diskLoads_{0};
+    std::atomic<u64> evictions_{0};
 };
 
 } // namespace vmmx

@@ -1,0 +1,173 @@
+#include "trace/trace_io.hh"
+
+#include <sstream>
+
+namespace vmmx
+{
+
+namespace
+{
+
+// Per-record flags byte.
+constexpr u8 flagTaken = 1u << 0;
+constexpr u8 flagEwShift = 1;          // bits 1..2: ElemWidth
+constexpr u8 flagEwMask = 3u << flagEwShift;
+constexpr u8 flagHasMem = 1u << 3;     // addr/rowBytes/stride block present
+constexpr u8 flagHasVl = 1u << 4;      // vl != 0
+constexpr u8 flagNewRegion = 1u << 5;  // region differs from previous record
+
+u8
+packCls(RegClass a, RegClass b)
+{
+    return u8(static_cast<u8>(a) | (static_cast<u8>(b) << 4));
+}
+
+bool
+unpackCls(u8 packed, RegClass &a, RegClass &b)
+{
+    u8 lo = packed & 0x0f, hi = packed >> 4;
+    if (lo > static_cast<u8>(RegClass::None) ||
+        hi > static_cast<u8>(RegClass::None))
+        return false;
+    a = static_cast<RegClass>(lo);
+    b = static_cast<RegClass>(hi);
+    return true;
+}
+
+} // namespace
+
+std::string
+TraceKey::describe() const
+{
+    std::ostringstream os;
+    os << (isApp ? "app:" : "kernel:") << name << "/" << vmmx::name(kind)
+       << "/" << imageBytes << "B/seed=" << std::hex << seed;
+    return os.str();
+}
+
+void
+encodeTrace(const std::vector<InstRecord> &trace, wire::Writer &w)
+{
+    w.varint(trace.size());
+    Addr prevAddr = 0;
+    u32 prevStatic = 0;
+    u16 prevRegion = 0;
+    for (const InstRecord &i : trace) {
+        const bool hasMem = i.addr != 0 || i.rowBytes != 0 || i.stride != 0;
+        u8 flags = u8(static_cast<u8>(i.ew) << flagEwShift);
+        if (i.taken)
+            flags |= flagTaken;
+        if (hasMem)
+            flags |= flagHasMem;
+        if (i.vl != 0)
+            flags |= flagHasVl;
+        if (i.region != prevRegion)
+            flags |= flagNewRegion;
+
+        w.byte(static_cast<u8>(i.op));
+        w.byte(flags);
+        w.byte(packCls(i.dst.cls, i.src0.cls));
+        w.byte(packCls(i.src1.cls, i.src2.cls));
+        for (const RegId *r : {&i.dst, &i.src0, &i.src1, &i.src2})
+            if (r->valid())
+                w.byte(r->idx);
+        // Static ids advance by small steps inside a basic block and jump
+        // back at loop edges: signed deltas stay short either way.
+        w.svarint(s64(i.staticId) - s64(prevStatic));
+        prevStatic = i.staticId;
+        if (flags & flagNewRegion) {
+            w.varint(i.region);
+            prevRegion = i.region;
+        }
+        if (hasMem) {
+            // Two's-complement delta: exact for any u64 pair, short for
+            // the common near-sequential access patterns.
+            w.svarint(s64(i.addr - prevAddr));
+            prevAddr = i.addr;
+            w.varint(i.rowBytes);
+            // Unit-stride rows (stride == rowBytes) encode as zero.
+            w.svarint(s64(i.stride) - s64(i.rowBytes));
+        }
+        if (i.vl != 0)
+            w.varint(i.vl);
+    }
+}
+
+bool
+decodeTrace(wire::Reader &r, std::vector<InstRecord> &out)
+{
+    u64 count = r.varint();
+    if (!r.ok())
+        return false;
+    // A record is at least 5 bytes; reject absurd counts before reserving.
+    if (count > r.remaining())
+        return false;
+    out.clear();
+    out.reserve(size_t(count));
+    Addr prevAddr = 0;
+    u32 prevStatic = 0;
+    u16 prevRegion = 0;
+    for (u64 n = 0; n < count; ++n) {
+        InstRecord i;
+        u8 op = r.byte();
+        if (op >= static_cast<u8>(Opcode::NUM_OPCODES))
+            return false;
+        i.op = static_cast<Opcode>(op);
+        u8 flags = r.byte();
+        i.ew = static_cast<ElemWidth>((flags & flagEwMask) >> flagEwShift);
+        i.taken = flags & flagTaken;
+        if (!unpackCls(r.byte(), i.dst.cls, i.src0.cls) ||
+            !unpackCls(r.byte(), i.src1.cls, i.src2.cls))
+            return false;
+        for (RegId *reg : {&i.dst, &i.src0, &i.src1, &i.src2})
+            if (reg->valid())
+                reg->idx = r.byte();
+        s64 dStatic = r.svarint();
+        i.staticId = u32(s64(prevStatic) + dStatic);
+        prevStatic = i.staticId;
+        if (flags & flagNewRegion) {
+            i.region = u16(r.varint());
+            prevRegion = i.region;
+        } else {
+            i.region = prevRegion;
+        }
+        if (flags & flagHasMem) {
+            i.addr = prevAddr + u64(r.svarint());
+            prevAddr = i.addr;
+            i.rowBytes = u16(r.varint());
+            i.stride = s32(r.svarint() + s64(i.rowBytes));
+        }
+        if (flags & flagHasVl)
+            i.vl = u16(r.varint());
+        if (!r.ok())
+            return false;
+        out.push_back(i);
+    }
+    return true;
+}
+
+void
+serialize(wire::Writer &w, const TraceKey &key)
+{
+    w.boolean(key.isApp);
+    w.str(key.name);
+    w.byte(static_cast<u8>(key.kind));
+    w.fixed32(key.imageBytes);
+    w.fixed64(key.seed);
+}
+
+bool
+deserialize(wire::Reader &r, TraceKey &key)
+{
+    key.isApp = r.boolean();
+    key.name = r.str();
+    u8 kind = r.byte();
+    if (kind > static_cast<u8>(SimdKind::VMMX128))
+        return false;
+    key.kind = static_cast<SimdKind>(kind);
+    key.imageBytes = r.fixed32();
+    key.seed = r.fixed64();
+    return r.ok();
+}
+
+} // namespace vmmx

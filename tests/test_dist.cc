@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Distributed sweep subsystem tests.
+ *
+ * The headline guarantees: a multi-process sharded sweep is bit-identical
+ * to the serial in-process sweep on the same grid; a second run of the
+ * same grid is served entirely from the on-disk TraceStore (zero trace
+ * regenerations); and an interrupted journaled run resumes without
+ * re-executing completed grid points.  Plus the TraceStore / TraceCache
+ * disk-tier mechanics: round trips, corruption tolerance, and budgeted
+ * eviction of RAM copies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "dist/driver.hh"
+#include "harness/sweep.hh"
+#include "trace/trace_cache.hh"
+#include "trace/trace_store.hh"
+
+namespace fs = std::filesystem;
+
+namespace vmmx
+{
+namespace
+{
+
+class DistTest : public testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        setQuiet(true);
+        dir_ = fs::temp_directory_path() /
+               ("vmmx-dist-test-" + std::to_string(::getpid()) + "-" +
+                testing::UnitTest::GetInstance()->current_test_info()->name());
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::string storeDir() const { return (dir_ / "store").string(); }
+    std::string journalPath() const { return (dir_ / "sweep.vmjl").string(); }
+
+    /** 3 kernels x 4 flavours x 2 widths = 24 points, 12 distinct
+     *  traces.  Short-trace kernels keep the suite fast. */
+    static void buildGrid(Sweep &s)
+    {
+        s.addKernelGrid({"motion1", "motion2", "comp"},
+                        {SimdKind::MMX64, SimdKind::MMX128,
+                         SimdKind::VMMX64, SimdKind::VMMX128},
+                        {2, 4});
+    }
+
+    std::vector<SweepResult> runSerial()
+    {
+        SweepOptions opts;
+        opts.threads = 1;
+        opts.cache = &serialCache_;
+        Sweep sweep(opts);
+        buildGrid(sweep);
+        return sweep.runSerial();
+    }
+
+    fs::path dir_;
+    TraceCache serialCache_;
+};
+
+// The ISSUE acceptance test: 2-process sharded run of a >= 24-point grid
+// is bit-identical to the serial sweep, and a second run of the same grid
+// is served from the on-disk TraceStore with zero trace regenerations.
+TEST_F(DistTest, TwoProcessShardedSweepBitIdenticalAndStoreReuse)
+{
+    auto expect = runSerial();
+    ASSERT_GE(expect.size(), 24u);
+
+    SweepOptions opts;
+    opts.processes = 2;
+    opts.storeDir = storeDir();
+    dist::DistStats first;
+    opts.distStats = &first;
+    Sweep sweep(opts);
+    buildGrid(sweep);
+
+    auto got = sweep.run();
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_TRUE(got[i].sameRun(expect[i]))
+            << "point " << i << " (" << expect[i].point.label() << ")";
+        EXPECT_EQ(got[i].point.label(), expect[i].point.label());
+    }
+    EXPECT_EQ(first.workers, 2u);
+    EXPECT_EQ(first.jobsRun, expect.size());
+    // 12 distinct traces and an empty store: every one was generated.
+    EXPECT_GE(first.generations, 12u);
+    EXPECT_EQ(first.storeSaves, first.generations);
+
+    // Second run of the same grid: every trace comes off disk.
+    dist::DistStats second;
+    opts.distStats = &second;
+    Sweep again(opts);
+    buildGrid(again);
+    auto rerun = again.run();
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_TRUE(rerun[i].sameRun(expect[i])) << "rerun point " << i;
+    EXPECT_EQ(second.generations, 0u) << "trace regenerated despite store";
+    EXPECT_GE(second.diskLoads, 12u);
+}
+
+TEST_F(DistTest, OddWorkerCountsStayIdentical)
+{
+    auto expect = runSerial();
+
+    for (unsigned processes : {1u, 3u}) {
+        SweepOptions opts;
+        opts.processes = processes;
+        opts.storeDir = storeDir();
+        dist::DistStats stats;
+        opts.distStats = &stats;
+        Sweep sweep(opts);
+        buildGrid(sweep);
+        auto got = sweep.run();
+        ASSERT_EQ(got.size(), expect.size());
+        for (size_t i = 0; i < expect.size(); ++i)
+            EXPECT_TRUE(got[i].sameRun(expect[i]))
+                << processes << " workers, point " << i;
+        EXPECT_EQ(stats.workers, processes);
+    }
+}
+
+TEST_F(DistTest, ExplicitTracePointsCrossTheWire)
+{
+    TraceCache cache;
+    SharedTrace trace = cache.kernel("addblock", SimdKind::MMX64);
+
+    auto build = [&](Sweep &s) {
+        for (unsigned way : {2u, 4u, 8u})
+            s.addTrace(trace, SimdKind::MMX64, way, "custom");
+    };
+    SweepOptions serialOpts;
+    serialOpts.threads = 1;
+    serialOpts.cache = &cache;
+    Sweep serial(serialOpts);
+    build(serial);
+    auto expect = serial.runSerial();
+
+    // More workers than grid points: the driver must clamp.
+    SweepOptions opts;
+    opts.processes = 8;
+    opts.storeDir = storeDir();
+    dist::DistStats stats;
+    opts.distStats = &stats;
+    Sweep sweep(opts);
+    build(sweep);
+    auto got = sweep.run();
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_TRUE(got[i].sameRun(expect[i])) << "point " << i;
+    EXPECT_EQ(stats.workers, expect.size());
+}
+
+TEST_F(DistTest, JournalResumeSkipsCompletedJobs)
+{
+    auto expect = runSerial();
+
+    SweepOptions opts;
+    opts.processes = 2;
+    opts.storeDir = storeDir();
+    opts.journalPath = journalPath();
+    dist::DistStats first;
+    opts.distStats = &first;
+    Sweep sweep(opts);
+    buildGrid(sweep);
+    auto got = sweep.run();
+    EXPECT_EQ(first.jobsRun, expect.size());
+    EXPECT_EQ(first.jobsResumed, 0u);
+
+    // The journal survives success; a rerun restores every point without
+    // spawning a single worker.
+    dist::DistStats second;
+    opts.distStats = &second;
+    Sweep again(opts);
+    buildGrid(again);
+    auto rerun = again.run();
+    EXPECT_EQ(second.jobsRun, 0u);
+    EXPECT_EQ(second.jobsResumed, expect.size());
+    EXPECT_EQ(second.workers, 0u);
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_TRUE(rerun[i].sameRun(expect[i])) << "resumed point " << i;
+}
+
+TEST_F(DistTest, TruncatedJournalResumesThePrefix)
+{
+    auto expect = runSerial();
+
+    SweepOptions opts;
+    opts.processes = 2;
+    opts.storeDir = storeDir();
+    opts.journalPath = journalPath();
+    Sweep sweep(opts);
+    buildGrid(sweep);
+    sweep.run();
+
+    // Chop mid-entry, as a crash during an append would.
+    auto size = fs::file_size(journalPath());
+    fs::resize_file(journalPath(), size - 5);
+
+    dist::DistStats stats;
+    opts.distStats = &stats;
+    Sweep again(opts);
+    buildGrid(again);
+    auto rerun = again.run();
+    EXPECT_EQ(stats.jobsResumed, expect.size() - 1)
+        << "exactly the damaged trailing entry should rerun";
+    EXPECT_EQ(stats.jobsRun, 1u);
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_TRUE(rerun[i].sameRun(expect[i])) << "point " << i;
+}
+
+TEST_F(DistTest, JournalForADifferentGridIsDiscarded)
+{
+    SweepOptions opts;
+    opts.processes = 2;
+    opts.storeDir = storeDir();
+    opts.journalPath = journalPath();
+    Sweep sweep(opts);
+    buildGrid(sweep);
+    sweep.run();
+
+    // Same journal path, different grid: must start fresh, not resume.
+    SweepOptions other = opts;
+    dist::DistStats stats;
+    other.distStats = &stats;
+    Sweep small(other);
+    small.addKernel("ltpfilt", SimdKind::VMMX128, 4);
+    auto got = small.run();
+    EXPECT_EQ(stats.jobsResumed, 0u);
+    EXPECT_EQ(stats.jobsRun, 1u);
+
+    TraceCache cache;
+    auto trace = cache.kernel("ltpfilt", SimdKind::VMMX128);
+    RunResult direct = runTrace(makeMachine(SimdKind::VMMX128, 4), *trace);
+    EXPECT_TRUE(got[0].result == direct);
+}
+
+TEST_F(DistTest, TraceStoreRoundTripAndCorruptionTolerance)
+{
+    TraceStore store(storeDir());
+    TraceCache cache;
+    TraceKey key{false, "idct", SimdKind::VMMX64,
+                 TraceCache::kernelImageBytes, TraceCache::defaultSeed};
+    SharedTrace trace = cache.get(key);
+
+    EXPECT_EQ(store.load(key), nullptr); // empty store: miss
+    EXPECT_EQ(store.misses(), 1u);
+    ASSERT_TRUE(store.save(key, *trace));
+    EXPECT_TRUE(store.contains(key));
+
+    SharedTrace back = store.load(key);
+    ASSERT_NE(back, nullptr);
+    EXPECT_TRUE(*back == *trace);
+
+    // A different key never aliases the stored file.
+    TraceKey other = key;
+    other.seed ^= 1;
+    EXPECT_EQ(store.load(other), nullptr);
+
+    // Flip one payload byte: checksum must reject the file as a miss.
+    std::string file = store.path(key);
+    {
+        std::fstream f(file, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        f.seekp(40);
+        char c;
+        f.seekg(40);
+        f.get(c);
+        f.seekp(40);
+        f.put(char(c ^ 0x01));
+    }
+    EXPECT_EQ(store.load(key), nullptr);
+
+    // Truncation too.
+    ASSERT_TRUE(store.save(key, *trace));
+    fs::resize_file(file, fs::file_size(file) / 2);
+    EXPECT_EQ(store.load(key), nullptr);
+}
+
+TEST_F(DistTest, BudgetEvictsDiskBackedTracesAndReloads)
+{
+    TraceStore store(storeDir());
+    TraceCache cache(&store, /*budgetBytes=*/1); // evict everything evictable
+    SharedTrace a = cache.kernel("motion1", SimdKind::MMX64);
+    u64 aBytes = a->size() * sizeof(InstRecord);
+    a.reset(); // cache's copy is the only remaining reference
+
+    // Generating a second trace pushes the first out of RAM (it is disk
+    // backed), leaving only the just-returned trace resident.
+    SharedTrace b = cache.kernel("motion2", SimdKind::MMX64);
+    EXPECT_EQ(cache.generations(), 2u);
+    EXPECT_GE(cache.evictions(), 1u);
+    EXPECT_LT(cache.bytesResident(),
+              aBytes + b->size() * sizeof(InstRecord));
+
+    // The evicted trace comes back from disk, not from regeneration.
+    SharedTrace a2 = cache.kernel("motion1", SimdKind::MMX64);
+    EXPECT_EQ(cache.generations(), 2u);
+    EXPECT_EQ(cache.diskLoads(), 1u);
+    ASSERT_NE(a2, nullptr);
+
+    // Without a store, the budget cannot evict (nothing is disk backed).
+    TraceCache ramOnly(nullptr, 1);
+    ramOnly.kernel("motion1", SimdKind::MMX64);
+    ramOnly.kernel("motion2", SimdKind::MMX64);
+    EXPECT_EQ(ramOnly.evictions(), 0u);
+    EXPECT_EQ(ramOnly.size(), 2u);
+}
+
+TEST_F(DistTest, BudgetFromEnvParsesSuffixes)
+{
+    ::setenv("VMMX_TRACE_CACHE_BUDGET", "64M", 1);
+    EXPECT_EQ(TraceCache::budgetFromEnv(), 64ull << 20);
+    ::setenv("VMMX_TRACE_CACHE_BUDGET", "2g", 1);
+    EXPECT_EQ(TraceCache::budgetFromEnv(), 2ull << 30);
+    ::setenv("VMMX_TRACE_CACHE_BUDGET", "4096", 1);
+    EXPECT_EQ(TraceCache::budgetFromEnv(), 4096ull);
+    ::setenv("VMMX_TRACE_CACHE_BUDGET", "potato", 1);
+    EXPECT_EQ(TraceCache::budgetFromEnv(), 0u);
+    ::unsetenv("VMMX_TRACE_CACHE_BUDGET");
+    EXPECT_EQ(TraceCache::budgetFromEnv(), 0u);
+}
+
+} // namespace
+} // namespace vmmx

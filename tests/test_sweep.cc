@@ -139,6 +139,31 @@ TEST_F(SweepTest, SweepSharesTracesAcrossPoints)
     EXPECT_EQ(results[0].traceLength, results[2].traceLength);
 }
 
+TEST_F(SweepTest, LabelIncludesAblationOverrides)
+{
+    // Two points that differ only in a knob must not print identically.
+    Config robSmall;
+    robSmall.set("core.robEntries", s64(32));
+    Config robLarge;
+    robLarge.set("core.robEntries", s64(128));
+    robLarge.set("mem.l2Latency", s64(9));
+
+    Sweep sweep;
+    sweep.addKernel("idct", SimdKind::VMMX128, 4, robSmall);
+    sweep.addKernel("idct", SimdKind::VMMX128, 4, robLarge);
+    sweep.addKernel("idct", SimdKind::VMMX128, 4);
+
+    const auto &pts = sweep.points();
+    EXPECT_NE(pts[0].label(), pts[1].label());
+    EXPECT_NE(pts[0].label(), pts[2].label());
+    EXPECT_EQ(pts[2].label(), "idct/vmmx128/4-way");
+    EXPECT_EQ(pts[0].label(),
+              "idct/vmmx128/4-way+core.robEntries=32");
+    // Multiple overrides all appear (sorted by key).
+    EXPECT_EQ(pts[1].label(),
+              "idct/vmmx128/4-way+core.robEntries=128+mem.l2Latency=9");
+}
+
 TEST_F(SweepTest, ExplicitTracePointsRun)
 {
     auto trace = cache.kernel("addblock", SimdKind::MMX64);

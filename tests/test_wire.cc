@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Wire-format tests: every serialized type must round-trip bit-exactly,
+ * including boundary values, and the trace codec must actually compress.
+ * Property-style: InstRecords are driven through the codec both with
+ * hand-picked extreme field values and with thousands of randomized
+ * records from the deterministic Rng.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "dist/protocol.hh"
+#include "dist/wire.hh"
+#include "harness/harness_io.hh"
+#include "trace/trace_cache.hh"
+#include "trace/trace_io.hh"
+
+namespace vmmx
+{
+namespace
+{
+
+class WireTest : public testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+};
+
+TEST_F(WireTest, VarintBoundariesRoundTrip)
+{
+    const u64 values[] = {0,          1,
+                          127,        128,
+                          16383,      16384,
+                          0xffffffffull, 0x100000000ull,
+                          ~0ull - 1,  ~0ull};
+    wire::Writer w;
+    for (u64 v : values)
+        w.varint(v);
+    wire::Reader r(w.buffer());
+    for (u64 v : values)
+        EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST_F(WireTest, SvarintBoundariesRoundTrip)
+{
+    const s64 values[] = {0,  1,  -1, 63, -63, 64, -64, 8191, -8192,
+                          s64(0x7fffffffffffffffll),
+                          s64(-0x7fffffffffffffffll - 1)};
+    wire::Writer w;
+    for (s64 v : values)
+        w.svarint(v);
+    wire::Reader r(w.buffer());
+    for (s64 v : values)
+        EXPECT_EQ(r.svarint(), v);
+    EXPECT_TRUE(r.ok());
+    // Small magnitudes of either sign must stay single-byte.
+    wire::Writer small;
+    small.svarint(-63);
+    EXPECT_EQ(small.size(), 1u);
+}
+
+TEST_F(WireTest, FixedStringsAndUnderflow)
+{
+    wire::Writer w;
+    w.fixed32(0xdeadbeef);
+    w.fixed64(0x0123456789abcdefull);
+    w.str(std::string("nul\0inside", 10));
+    w.str("");
+    wire::Reader r(w.buffer());
+    EXPECT_EQ(r.fixed32(), 0xdeadbeefu);
+    EXPECT_EQ(r.fixed64(), 0x0123456789abcdefull);
+    EXPECT_EQ(r.str(), std::string("nul\0inside", 10));
+    EXPECT_EQ(r.str(), "");
+    EXPECT_TRUE(r.ok() && r.atEnd());
+
+    // Underflow is sticky and quiet, never fatal.
+    EXPECT_EQ(r.fixed64(), 0u);
+    EXPECT_FALSE(r.ok());
+    wire::Reader trunc(w.buffer().data(), 2);
+    trunc.fixed32();
+    EXPECT_FALSE(trunc.ok());
+}
+
+InstRecord
+randomRecord(Rng &rng)
+{
+    auto randomReg = [&rng]() -> RegId {
+        auto cls = static_cast<RegClass>(rng.below(5));
+        // The codec stores no index for RegClass::None (an absent
+        // register is canonically {None, 0}, which is what the trace
+        // DSL emits).
+        return {cls, cls == RegClass::None ? u8(0) : rng.byte()};
+    };
+    InstRecord i;
+    i.op = static_cast<Opcode>(
+        rng.below(static_cast<u64>(Opcode::NUM_OPCODES)));
+    i.ew = static_cast<ElemWidth>(rng.below(4));
+    i.dst = randomReg();
+    i.src0 = randomReg();
+    i.src1 = randomReg();
+    i.src2 = randomReg();
+    // Mix sequential-ish addresses with extremes.
+    switch (rng.below(4)) {
+      case 0: i.addr = 0; break;
+      case 1: i.addr = rng.below(1u << 20); break;
+      case 2: i.addr = ~0ull - rng.below(64); break;
+      default: i.addr = rng.next(); break;
+    }
+    i.rowBytes = u16(rng.below(3) ? rng.below(64) : 0xffff);
+    switch (rng.below(4)) {
+      case 0: i.stride = 0; break;
+      case 1: i.stride = s32(i.rowBytes); break;
+      case 2: i.stride = -s32(rng.below(1u << 16)); break;
+      default: i.stride = s32(rng.next()); break;
+    }
+    i.vl = u16(rng.below(2) ? rng.below(17) : 0xffff);
+    i.taken = rng.below(2);
+    i.staticId = rng.below(2) ? u32(rng.below(4096)) : u32(rng.next());
+    i.region = u16(rng.below(3) ? rng.below(8) : 0xffff);
+    return i;
+}
+
+TEST_F(WireTest, InstRecordBoundaryValuesRoundTrip)
+{
+    std::vector<InstRecord> trace;
+    InstRecord i;
+    trace.push_back(i); // all defaults
+    i.op = static_cast<Opcode>(static_cast<u8>(Opcode::NUM_OPCODES) - 1);
+    i.ew = ElemWidth::Q64;
+    i.dst = {RegClass::Acc, 255};
+    i.src0 = {RegClass::Int, 0};
+    i.src1 = {RegClass::None, 0};
+    i.src2 = {RegClass::Simd, 31};
+    i.addr = ~0ull;
+    i.rowBytes = 0xffff;
+    i.stride = s32(0x80000000); // INT32_MIN
+    i.vl = 0xffff;
+    i.taken = true;
+    i.staticId = ~0u;
+    i.region = 0xffff;
+    trace.push_back(i);
+    i.addr = 0; // max -> 0 address delta
+    i.stride = 0x7fffffff;
+    trace.push_back(i);
+
+    wire::Writer w;
+    encodeTrace(trace, w);
+    wire::Reader r(w.buffer());
+    std::vector<InstRecord> back;
+    ASSERT_TRUE(decodeTrace(r, back));
+    ASSERT_EQ(back.size(), trace.size());
+    for (size_t k = 0; k < trace.size(); ++k)
+        EXPECT_EQ(back[k], trace[k]) << "record " << k;
+}
+
+TEST_F(WireTest, InstRecordRandomizedRoundTrip)
+{
+    Rng rng(0x5eed);
+    std::vector<InstRecord> trace;
+    for (int k = 0; k < 5000; ++k)
+        trace.push_back(randomRecord(rng));
+    wire::Writer w;
+    encodeTrace(trace, w);
+    wire::Reader r(w.buffer());
+    std::vector<InstRecord> back;
+    ASSERT_TRUE(decodeTrace(r, back));
+    ASSERT_EQ(back.size(), trace.size());
+    for (size_t k = 0; k < trace.size(); ++k)
+        ASSERT_EQ(back[k], trace[k]) << "record " << k;
+}
+
+TEST_F(WireTest, CorruptTraceStreamsFailCleanly)
+{
+    Rng rng(7);
+    std::vector<InstRecord> trace;
+    for (int k = 0; k < 32; ++k)
+        trace.push_back(randomRecord(rng));
+    wire::Writer w;
+    encodeTrace(trace, w);
+
+    std::vector<InstRecord> back;
+    // Truncations at every prefix length must fail, never crash.
+    for (size_t cut = 0; cut + 1 < w.size(); cut += 7) {
+        wire::Reader r(w.buffer().data(), cut);
+        decodeTrace(r, back); // may succeed only for a full prefix; no UB
+    }
+    // An opcode byte past the enum must be rejected.
+    std::vector<u8> bad = w.buffer();
+    bad[1] = 0xff; // first record's opcode
+    wire::Reader r(bad);
+    EXPECT_FALSE(decodeTrace(r, back));
+}
+
+TEST_F(WireTest, RealKernelTraceRoundTripsAndCompresses)
+{
+    TraceCache cache;
+    for (auto kind : {SimdKind::MMX64, SimdKind::VMMX128}) {
+        SharedTrace t = cache.kernel("idct", kind);
+        wire::Writer w;
+        encodeTrace(*t, w);
+        wire::Reader r(w.buffer());
+        std::vector<InstRecord> back;
+        ASSERT_TRUE(decodeTrace(r, back));
+        EXPECT_TRUE(back == *t);
+
+        // The whole point of the delta+varint codec: app-scale traces
+        // must shrink by more than 4x against the in-memory layout.
+        size_t raw = t->size() * sizeof(InstRecord);
+        EXPECT_GT(raw, 4 * w.size())
+            << name(kind) << ": " << raw << " raw vs " << w.size()
+            << " encoded";
+    }
+}
+
+TEST_F(WireTest, RunStatsAndRunResultRoundTrip)
+{
+    RunResult res;
+    res.core.cycles = ~0ull;
+    res.core.instructions = 123456789012345ull;
+    for (size_t c = 0; c < res.core.instByClass.size(); ++c)
+        res.core.instByClass[c] = ~0ull - c;
+    res.core.scalarCycles = 1;
+    res.core.vectorCycles = 0;
+    res.core.branches = 42;
+    res.core.mispredicts = ~0ull;
+    res.core.memOps = 7;
+    res.core.renameStallRegs = 1ull << 63;
+    res.core.renameStallRob = 127;
+    res.core.renameStallIq = 128;
+    res.l1Hits = ~0ull;
+    res.l1Misses = 0;
+    res.l2Hits = 1;
+    res.l2Misses = ~0ull - 1;
+    res.vecAccesses = 0xcafef00dull;
+    res.cohInvalidations = 3;
+
+    wire::Writer w;
+    serialize(w, res);
+    wire::Reader r(w.buffer());
+    RunResult back;
+    ASSERT_TRUE(deserialize(r, back));
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_TRUE(back == res); // every counter, bit-exact
+}
+
+TEST_F(WireTest, ConfigAndSweepPointRoundTrip)
+{
+    Config c;
+    c.set("core.robEntries", s64(64));
+    c.set("mem.l2Latency", s64(12));
+    c.set("label", std::string("with spaces and = signs"));
+
+    SweepPoint p;
+    p.workload = SweepPoint::Workload::Kernel;
+    p.name = "idct";
+    p.kind = SimdKind::VMMX128;
+    p.way = 8;
+    p.overrides = c;
+
+    wire::Writer w;
+    serialize(w, p);
+    wire::Reader r(w.buffer());
+    SweepPoint back;
+    ASSERT_TRUE(deserialize(r, back));
+    EXPECT_EQ(back.workload, p.workload);
+    EXPECT_EQ(back.name, p.name);
+    EXPECT_EQ(back.kind, p.kind);
+    EXPECT_EQ(back.way, p.way);
+    EXPECT_EQ(back.trace, nullptr);
+    EXPECT_EQ(back.label(), p.label()); // includes the overrides
+    for (const auto &key : c.keys())
+        EXPECT_EQ(back.overrides.getString(key), c.getString(key));
+}
+
+TEST_F(WireTest, ExplicitTracePointShipsItsTrace)
+{
+    Rng rng(11);
+    auto trace = std::make_shared<std::vector<InstRecord>>();
+    for (int k = 0; k < 100; ++k)
+        trace->push_back(randomRecord(rng));
+
+    SweepPoint p;
+    p.workload = SweepPoint::Workload::Trace;
+    p.name = "custom";
+    p.kind = SimdKind::MMX128;
+    p.way = 4;
+    p.trace = trace;
+
+    wire::Writer w;
+    serialize(w, p);
+    wire::Reader r(w.buffer());
+    SweepPoint back;
+    ASSERT_TRUE(deserialize(r, back));
+    ASSERT_NE(back.trace, nullptr);
+    EXPECT_TRUE(*back.trace == *trace);
+}
+
+TEST_F(WireTest, ProtocolMessagesRoundTrip)
+{
+    dist::SetupMsg setup{dist::protocolVersion, "/tmp/store", 1u << 30,
+                         true};
+    dist::SetupMsg setup2;
+    ASSERT_TRUE(dist::decode(dist::encode(setup), setup2));
+    EXPECT_EQ(setup2.storeDir, setup.storeDir);
+    EXPECT_EQ(setup2.cacheBudget, setup.cacheBudget);
+    EXPECT_EQ(setup2.quiet, setup.quiet);
+
+    dist::JobMsg job;
+    job.index = 0xfffffffe;
+    job.point.name = "motion2";
+    job.point.way = 16;
+    dist::JobMsg job2;
+    ASSERT_TRUE(dist::decode(dist::encode(job), job2));
+    EXPECT_EQ(job2.index, job.index);
+    EXPECT_EQ(job2.point.label(), job.point.label());
+
+    dist::ResultMsg res;
+    res.index = 7;
+    res.traceLength = ~0ull;
+    res.result.core.cycles = 123;
+    dist::ResultMsg res2;
+    ASSERT_TRUE(dist::decode(dist::encode(res), res2));
+    EXPECT_EQ(res2.index, res.index);
+    EXPECT_EQ(res2.traceLength, res.traceLength);
+    EXPECT_TRUE(res2.result == res.result);
+
+    // Wrong-type decodes must fail, not misparse.
+    EXPECT_FALSE(dist::decode(dist::encode(res), job2));
+    std::string what;
+    ASSERT_TRUE(dist::decodeError(dist::encodeError("boom"), what));
+    EXPECT_EQ(what, "boom");
+}
+
+} // namespace
+} // namespace vmmx

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * vmmx_sweepd -- standalone driver for distributed grid sweeps.
+ *
+ * Builds a (workload x SIMD flavour x machine width) grid from the
+ * command line, shards it across self-exec'd worker processes (the
+ * driver re-executes its own binary with "--worker --fd N"), and prints
+ * the per-point results plus scheduler and trace-store statistics.
+ *
+ *   vmmx_sweepd --processes 4 --kernels idct,motion1 --ways 2,4,8
+ *   vmmx_sweepd --apps gsmenc --kinds vmmx64,vmmx128 --journal sweep.vmjl
+ *
+ * --check additionally runs the same grid through the serial in-process
+ * sweep and exits nonzero unless every point is bit-identical (the
+ * distributed determinism guarantee; this is what CI's distributed
+ * smoke job asserts).  An interrupted journaled run resumes: rerun with
+ * the same --journal and only the missing points execute.
+ */
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "dist/driver.hh"
+#include "dist/worker.hh"
+#include "harness/sweep.hh"
+
+using namespace vmmx;
+
+namespace
+{
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream in(s);
+    std::string item;
+    while (std::getline(in, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+std::string
+selfPath(const char *argv0)
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0; // non-procfs fallback; must then be an absolute path
+}
+
+[[noreturn]] void
+usage(int rc)
+{
+    std::cout <<
+        "usage: vmmx_sweepd [options]\n"
+        "  --processes N      worker processes (default 2)\n"
+        "  --kernels a,b,...  Table II kernel names\n"
+        "  --apps a,b,...     application names\n"
+        "  --kinds k,...      SIMD flavours (default all four)\n"
+        "  --ways w,...       machine widths (default 2,4,8)\n"
+        "  --store DIR        trace store directory\n"
+        "                     (default $VMMX_TRACE_STORE or system tmp)\n"
+        "  --journal FILE     crash-resume journal; rerun with the same\n"
+        "                     file to resume an interrupted sweep\n"
+        "  --check            verify against the serial in-process sweep\n"
+        "  --verbose          keep worker warn()/inform() output\n"
+        "  --help             this text\n";
+    std::exit(rc);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Worker mode never returns.
+    dist::maybeWorkerMain(argc, argv);
+
+    std::vector<std::string> kernels, apps;
+    std::vector<SimdKind> kinds(allSimdKinds.begin(), allSimdKinds.end());
+    std::vector<unsigned> ways = {2, 4, 8};
+    dist::DistOptions dopts;
+    bool check = false;
+    dopts.quiet = true;
+
+    auto value = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            fatal("option '%s' needs a value", argv[i]);
+        return argv[++i];
+    };
+    auto parseUnsigned = [](const std::string &what, const std::string &s) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(s.c_str(), &end, 10);
+        if (end == s.c_str() || *end != '\0')
+            fatal("%s: '%s' is not a number", what.c_str(), s.c_str());
+        return unsigned(v);
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--processes")
+            dopts.processes = parseUnsigned("--processes", value(i));
+        else if (arg == "--kernels")
+            kernels = splitList(value(i));
+        else if (arg == "--apps")
+            apps = splitList(value(i));
+        else if (arg == "--kinds") {
+            kinds.clear();
+            for (const auto &k : splitList(value(i)))
+                kinds.push_back(parseSimdKind(k));
+        } else if (arg == "--ways") {
+            ways.clear();
+            for (const auto &w : splitList(value(i)))
+                ways.push_back(parseUnsigned("--ways", w));
+        } else if (arg == "--store")
+            dopts.storeDir = value(i);
+        else if (arg == "--journal")
+            dopts.journalPath = value(i);
+        else if (arg == "--check")
+            check = true;
+        else if (arg == "--verbose")
+            dopts.quiet = false;
+        else if (arg == "--help")
+            usage(0);
+        else
+            usage(2);
+    }
+    if (dopts.processes == 0)
+        fatal("--processes must be >= 1");
+    if (kernels.empty() && apps.empty())
+        kernels = {"idct", "motion1", "rgb"};
+
+    Sweep grid;
+    grid.addKernelGrid(kernels, kinds, ways);
+    grid.addAppGrid(apps, kinds, ways);
+    if (grid.size() == 0)
+        fatal("empty grid");
+
+    dopts.execPath = selfPath(argv[0]);
+    setQuiet(dopts.quiet);
+
+    std::cout << "vmmx_sweepd: " << grid.size() << " grid points over "
+              << dopts.processes << " worker processes\n";
+    dist::DistStats stats;
+    auto results = dist::runSweep(grid.points(), dopts, &stats);
+
+    TextTable table({"point", "insts", "cycles", "ipc"});
+    for (const auto &r : results)
+        table.addRow({r.point.label(), std::to_string(r.traceLength),
+                      std::to_string(r.cycles()),
+                      TextTable::num(r.result.core.ipc())});
+    table.print(std::cout);
+    std::cout << '\n' << stats.summary() << '\n';
+
+    if (check) {
+        SweepOptions serialOpts;
+        serialOpts.threads = 1;
+        TraceCache privateCache;
+        serialOpts.cache = &privateCache;
+        Sweep serial(serialOpts);
+        serial.addKernelGrid(kernels, kinds, ways);
+        serial.addAppGrid(apps, kinds, ways);
+        auto expect = serial.runSerial();
+
+        size_t mismatches = 0;
+        for (size_t i = 0; i < expect.size(); ++i) {
+            if (!results[i].sameRun(expect[i])) {
+                std::cout << "MISMATCH at " << expect[i].point.label()
+                          << '\n';
+                ++mismatches;
+            }
+        }
+        std::cout << "check vs serial in-process sweep: "
+                  << (mismatches ? "FAIL" : "bit-identical") << '\n';
+        if (mismatches)
+            return 1;
+    }
+    return 0;
+}
