@@ -1,18 +1,25 @@
 /**
  * @file
  * Sweep-engine scaling microbench: a fig5-style grid of
- * (kernel x flavour x width) points timed three ways --
+ * (kernel x flavour x width) points timed four ways --
  *
  *   serial/uncached : the pre-sweep-engine path (regenerate the trace at
  *                     every point, run points one by one);
- *   serial/cached   : the sweep engine pinned to one thread (trace cache
- *                     active, no thread pool);
- *   sweep/4-thread  : the full engine with four workers.
+ *   serial/cached   : the sweep engine pinned to one thread, per-point
+ *                     jobs (trace cache active, no thread pool);
+ *   sweep/unbatched : the engine with four workers and one runTrace job
+ *                     per point (the PR-2 dispatch);
+ *   sweep/batched   : the engine with four workers dispatching whole
+ *                     trace groups, each run as one batched pass that
+ *                     decodes and streams the trace once for all of the
+ *                     group's machine configurations.
  *
  * Every variant must produce bit-identical RunResults; the bench exits
- * nonzero on any mismatch.  The headline number is the wall-clock
- * speedup of the 4-thread sweep over the serial/uncached baseline,
- * reported as the best of three repetitions after a warm-up pass.
+ * nonzero on any mismatch.  The headline numbers are the wall-clock
+ * speedup of the batched sweep over the unbatched one (the tentpole of
+ * the batched-simulation PR) and over the serial/uncached baseline,
+ * reported as the best of three repetitions after a warm-up pass,
+ * together with each variant's points-per-second throughput.
  */
 
 #include <algorithm>
@@ -65,10 +72,12 @@ main()
 {
     setQuiet(true);
 
-    // 6 kernels x 4 flavours x 3 widths = 72 points, 24 distinct traces.
-    // The motion/GSM/block kernels have short dynamic traces, so the grid
-    // is dominated by trace generation -- exactly the regime the shared
-    // cache is for (the long-trace kernels are covered by fig4/fig5).
+    // 6 kernels x 4 flavours x 3 widths = 72 points, 24 distinct traces
+    // (so 24 trace groups of 3 widths each).  The motion/GSM/block
+    // kernels have short dynamic traces, so the unbatched grid is
+    // dominated by trace generation and re-streaming -- exactly the
+    // regime the shared cache and the batched pass are for (the
+    // long-trace kernels are covered by fig4/fig5).
     const std::vector<std::string> kernels = {"motion1", "motion2", "comp",
                                               "addblock", "ltppar",
                                               "ltpfilt"};
@@ -78,57 +87,73 @@ main()
 
     SweepOptions serialOpts;
     serialOpts.threads = 1;
+    serialOpts.batch = false;
     SweepOptions poolOpts;
     poolOpts.threads = 4;
+    poolOpts.batch = false;
+    SweepOptions batchOpts;
+    batchOpts.threads = 4;
+    batchOpts.batch = true;
 
     Sweep serialSweep(serialOpts);
     serialSweep.addKernelGrid(kernels, kinds, ways);
     Sweep poolSweep(poolOpts);
     poolSweep.addKernelGrid(kernels, kinds, ways);
+    Sweep batchSweep(batchOpts);
+    batchSweep.addKernelGrid(kernels, kinds, ways);
 
-    std::cout << "sweep scaling: " << serialSweep.size()
+    const size_t nPoints = serialSweep.size();
+    std::cout << "sweep scaling: " << nPoints
               << " (kernel, flavour, width) points, "
-              << kernels.size() * kinds.size() << " distinct traces\n\n";
+              << kernels.size() * kinds.size()
+              << " distinct traces / batch groups\n\n";
 
     using clock = std::chrono::steady_clock;
     constexpr int reps = 3;
 
     // Warm up: fault in the allocator and populate the trace cache so
     // every variant is timed at steady state (min of three reps).
-    auto pooled = poolSweep.run();
+    auto batched = batchSweep.run();
 
-    double tBase = 1e9, tCached = 1e9, tPooled = 1e9;
-    std::vector<SweepResult> baseline, cached;
+    double tBase = 1e9, tCached = 1e9, tPooled = 1e9, tBatched = 1e9;
+    std::vector<SweepResult> baseline, cached, pooled;
     for (int r = 0; r < reps; ++r) {
         auto t0 = clock::now();
         baseline = runSerialUncached(serialSweep.points());
         auto t1 = clock::now();
         cached = serialSweep.run(); // 1 thread: cache only
         auto t2 = clock::now();
-        pooled = poolSweep.run(); // 4 threads + cache
+        pooled = poolSweep.run(); // 4 threads + cache, per-point jobs
         auto t3 = clock::now();
+        batched = batchSweep.run(); // 4 threads + cache + trace groups
+        auto t4 = clock::now();
         tBase = std::min(tBase, seconds(t0, t1));
         tCached = std::min(tCached, seconds(t1, t2));
         tPooled = std::min(tPooled, seconds(t2, t3));
+        tBatched = std::min(tBatched, seconds(t3, t4));
     }
 
     bool identical = true;
     for (size_t i = 0; i < baseline.size(); ++i) {
         if (!baseline[i].sameRun(cached[i]) ||
-            !baseline[i].sameRun(pooled[i])) {
+            !baseline[i].sameRun(pooled[i]) ||
+            !baseline[i].sameRun(batched[i])) {
             identical = false;
             std::cout << "MISMATCH at point " << i << " ("
                       << baseline[i].point.label() << ")\n";
         }
     }
 
-    TextTable table({"variant", "wall s", "speedup"});
-    table.addRow({"serial/uncached", TextTable::num(tBase, 3),
+    auto pps = [&](double t) { return TextTable::num(nPoints / t, 1); };
+    TextTable table({"variant", "wall s", "points/s", "speedup"});
+    table.addRow({"serial/uncached", TextTable::num(tBase, 3), pps(tBase),
                   TextTable::num(1.0)});
-    table.addRow({"serial/cached", TextTable::num(tCached, 3),
+    table.addRow({"serial/cached", TextTable::num(tCached, 3), pps(tCached),
                   TextTable::num(tBase / tCached)});
-    table.addRow({"sweep/4-thread", TextTable::num(tPooled, 3),
-                  TextTable::num(tBase / tPooled)});
+    table.addRow({"sweep/unbatched (4t)", TextTable::num(tPooled, 3),
+                  pps(tPooled), TextTable::num(tBase / tPooled)});
+    table.addRow({"sweep/batched (4t)", TextTable::num(tBatched, 3),
+                  pps(tBatched), TextTable::num(tBase / tBatched)});
     table.print(std::cout);
 
     // Sweep summary: resident bytes and any VMMX_TRACE_CACHE_BUDGET are
@@ -137,8 +162,15 @@ main()
     std::cout << "results bit-identical across variants: "
               << (identical ? "yes" : "NO") << '\n';
 
-    double speedup = tBase / tPooled;
-    std::cout << "4-thread sweep speedup vs serial/uncached: "
+    double batchSpeedup = tPooled / tBatched;
+    std::cout << "batched vs unbatched sweep (same 4-thread pool): "
+              << TextTable::num(batchSpeedup) << "x, "
+              << pps(tBatched) << " points/s ("
+              << (batchSpeedup >= 1.5 ? "PASS" : "below 1.5x on this host")
+              << ")\n";
+
+    double speedup = tBase / tBatched;
+    std::cout << "batched sweep speedup vs serial/uncached: "
               << TextTable::num(speedup) << "x ("
               << (speedup >= 2.0 ? "PASS" : "below 2x on this host")
               << ")\n";

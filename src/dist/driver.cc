@@ -29,18 +29,32 @@ namespace
 
 constexpr u32 journalMagic = 0x4c4a4d56; // "VMJL" little-endian
 constexpr u32 journalVersion = 1;
-/** Jobs kept in flight per worker: one running, one queued behind it so
- *  the worker never idles waiting on the driver's scheduling latency. */
+/** Work units kept in flight per worker: one running, one queued behind
+ *  it so the worker never idles waiting on the driver's scheduling
+ *  latency.  A unit is a trace group (batched) or one point (batch
+ *  off). */
 constexpr unsigned pipelineDepth = 2;
 
 struct WorkerProc
 {
     pid_t pid = -1;
     int fd = -1;
-    std::deque<u32> shard; ///< remaining submission indices, front first
-    unsigned outstanding = 0;
+    std::deque<u32> shard; ///< remaining unit ids, front first
+    /** Result frames still expected per unit sent but not fully
+     *  answered, in send order.  Workers run units serially and answer
+     *  a unit's points in order, so the front entry is always the one
+     *  being drained. */
+    std::deque<u32> inflight;
     bool doneSent = false;
     bool statsSeen = false;
+
+    u32 outstandingResults() const
+    {
+        u32 n = 0;
+        for (u32 u : inflight)
+            n += u;
+        return n;
+    }
 };
 
 // ---- journal ------------------------------------------------------------
@@ -194,16 +208,16 @@ spawnWorker(const DistOptions &opts, const std::vector<int> &parentFds)
 }
 
 /**
- * Next index for @p self: its own shard front, else steal from the tail
+ * Next unit for @p self: its own shard front, else steal from the tail
  * of the fullest other shard (the tail is the work the victim would get
  * to last, so stealing it minimizes contention on hot cache entries).
  */
 bool
-nextJobFor(std::vector<WorkerProc> &workers, WorkerProc &self, u32 &index,
-           u64 &steals)
+nextUnitFor(std::vector<WorkerProc> &workers, WorkerProc &self, u32 &unit,
+            u64 &steals)
 {
     if (!self.shard.empty()) {
-        index = self.shard.front();
+        unit = self.shard.front();
         self.shard.pop_front();
         return true;
     }
@@ -214,22 +228,39 @@ nextJobFor(std::vector<WorkerProc> &workers, WorkerProc &self, u32 &index,
             victim = &w;
     if (!victim)
         return false;
-    index = victim->shard.back();
+    unit = victim->shard.back();
     victim->shard.pop_back();
     ++steals;
     return true;
 }
 
+/** Ship one unit: a single-point unit travels as a legacy Job frame, a
+ *  multi-point trace group as one JobGroup frame the worker runs
+ *  batched.  Either way the worker answers with per-point Results. */
 void
-sendJob(WorkerProc &w, u32 index, const std::vector<SweepPoint> &points)
+sendUnit(WorkerProc &w, u32 unit, const std::vector<std::vector<u32>> &units,
+         const std::vector<SweepPoint> &points, u64 &groupsRun)
 {
-    JobMsg job;
-    job.index = index;
-    job.point = points[index];
-    if (!wire::writeFrame(w.fd, encode(job)))
-        fatal("lost connection to worker pid %d while sending job %u",
-              int(w.pid), index);
-    ++w.outstanding;
+    const std::vector<u32> &indices = units[unit];
+    bool ok;
+    if (indices.size() == 1) {
+        JobMsg job;
+        job.index = indices[0];
+        job.point = points[indices[0]];
+        ok = wire::writeFrame(w.fd, encode(job));
+    } else {
+        JobGroupMsg group;
+        group.indices = indices;
+        group.points.reserve(indices.size());
+        for (u32 i : indices)
+            group.points.push_back(points[i]);
+        ok = wire::writeFrame(w.fd, encode(group));
+    }
+    if (!ok)
+        fatal("lost connection to worker pid %d while sending unit %u",
+              int(w.pid), unit);
+    w.inflight.push_back(u32(indices.size()));
+    ++groupsRun;
 }
 
 } // namespace
@@ -239,8 +270,9 @@ DistStats::summary() const
 {
     std::ostringstream os;
     os << std::fixed << std::setprecision(1);
-    os << "dist: " << workers << " workers, " << jobsRun << " jobs run, "
-       << jobsResumed << " resumed from journal, " << steals << " stolen; "
+    os << "dist: " << workers << " workers, " << jobsRun << " jobs run in "
+       << groupsRun << " units, " << jobsResumed << " resumed from journal, "
+       << steals << " stolen; "
        << "worker caches: " << generations << " generations, " << hits
        << " hits, " << diskLoads << " disk loads, " << storeSaves
        << " store saves, " << bytesResident / (1024.0 * 1024.0)
@@ -326,6 +358,13 @@ runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
     if (remaining == 0)
         return results; // fully resumed; nothing to spawn
 
+    // The schedulable unit: trace groups when batching (a journal-
+    // resumed prefix simply shrinks the affected groups), single points
+    // otherwise.  Shared with the thread-pool engine so both backends
+    // form units identically.
+    std::vector<std::vector<u32>> units =
+        buildSweepUnits(points, pending, opts.batch);
+
     // Writing to a worker that died must surface as an EPIPE error code,
     // not kill the driver.
     struct sigaction ignore = {}, oldPipe = {};
@@ -334,7 +373,7 @@ runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
 
     // ---- spawn and shard ------------------------------------------------
     const unsigned n = unsigned(
-        std::min<size_t>(opts.processes, remaining));
+        std::min<size_t>(opts.processes, units.size()));
     st.workers = n;
     SetupMsg setup;
     setup.storeDir =
@@ -349,23 +388,25 @@ runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
         workers.push_back(spawnWorker(opts, parentFds));
         parentFds.push_back(workers.back().fd);
     }
-    // Contiguous shards keep each worker's trace working set small (grid
-    // builders emit points for one workload consecutively).
+    // Contiguous shards of units keep each worker's trace working set
+    // small (grid builders emit points for one workload consecutively,
+    // so neighbouring groups share store/cache locality).
     for (unsigned w = 0; w < n; ++w) {
-        size_t lo = remaining * w / n, hi = remaining * (w + 1) / n;
-        workers[w].shard.assign(pending.begin() + lo, pending.begin() + hi);
+        size_t lo = units.size() * w / n, hi = units.size() * (w + 1) / n;
+        for (size_t u = lo; u < hi; ++u)
+            workers[w].shard.push_back(u32(u));
     }
     for (auto &w : workers) {
         if (!wire::writeFrame(w.fd, encode(setup)))
             fatal("lost connection to worker pid %d during setup",
                   int(w.pid));
-        // Own-shard jobs only here: stealing during startup could leave a
-        // later worker with no job and therefore no Result to trigger its
-        // Done handshake.
+        // Own-shard units only here: stealing during startup could leave
+        // a later worker with no work and therefore no Result to trigger
+        // its Done handshake.
         for (unsigned k = 0; k < pipelineDepth && !w.shard.empty(); ++k) {
-            u32 index = w.shard.front();
+            u32 unit = w.shard.front();
             w.shard.pop_front();
-            sendJob(w, index, points);
+            sendUnit(w, unit, units, points, st.groupsRun);
         }
     }
 
@@ -402,35 +443,39 @@ runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
             if (!wire::readFrame(w->fd, frame)) {
                 if (opts.journalPath.empty())
                     fatal("worker pid %d died with %u jobs in flight",
-                          int(w->pid), w->outstanding);
+                          int(w->pid), w->outstandingResults());
                 fatal("worker pid %d died with %u jobs in flight; rerun "
                       "with --journal '%s' to resume",
-                      int(w->pid), w->outstanding,
+                      int(w->pid), w->outstandingResults(),
                       opts.journalPath.c_str());
             }
             switch (frameType(frame)) {
               case Msg::Result: {
                 ResultMsg m;
                 if (!decode(frame, m) || m.index >= results.size() ||
-                    have[m.index])
+                    have[m.index] || w->inflight.empty())
                     fatal("worker pid %d sent a malformed result",
                           int(w->pid));
                 results[m.index].result = m.result;
                 results[m.index].traceLength = m.traceLength;
                 have[m.index] = true;
                 --remaining;
-                --w->outstanding;
                 ++st.jobsRun;
                 if (journal.is_open())
                     journalAppend(journal, frame); // same bytes as encode(m)
-                u32 index;
-                if (nextJobFor(workers, *w, index, st.steals)) {
-                    sendJob(*w, index, points);
-                } else if (w->outstanding == 0 && !w->doneSent) {
-                    if (!wire::writeFrame(w->fd, encodeDone()))
-                        fatal("lost connection to worker pid %d",
-                              int(w->pid));
-                    w->doneSent = true;
+                // Units complete in send order; refill the pipeline when
+                // the front unit has answered all of its points.
+                if (--w->inflight.front() == 0) {
+                    w->inflight.pop_front();
+                    u32 unit;
+                    if (nextUnitFor(workers, *w, unit, st.steals)) {
+                        sendUnit(*w, unit, units, points, st.groupsRun);
+                    } else if (w->inflight.empty() && !w->doneSent) {
+                        if (!wire::writeFrame(w->fd, encodeDone()))
+                            fatal("lost connection to worker pid %d",
+                                  int(w->pid));
+                        w->doneSent = true;
+                    }
                 }
                 break;
               }

@@ -6,10 +6,14 @@
  * Workers are spawned from this process (fork, or fork+exec of
  * DistOptions::execPath for binaries that install the self-exec hook) and
  * speak the length-prefixed frame protocol of dist/protocol.hh over a
- * socketpair.  Each worker starts with a contiguous shard of the grid;
- * a worker that drains its own shard steals jobs from the tail of the
- * largest remaining shard, so stragglers (one worker stuck on mpeg2enc)
- * cannot serialize the sweep.
+ * socketpair.  The schedulable unit is a *trace group* -- the points
+ * that replay one trace, which a worker executes as a single batched
+ * pass (runTraceBatch) so the trace is decoded and streamed once per
+ * group even across process boundaries; DistOptions::batch = false
+ * falls back to one point per unit.  Each worker starts with a
+ * contiguous shard of the units; a worker that drains its own shard
+ * steals units from the tail of the largest remaining shard, so
+ * stragglers (one worker stuck on mpeg2enc) cannot serialize the sweep.
  *
  * Completed results are journaled to disk as they arrive (optional), so
  * a crashed or interrupted sweep resumes from where it stopped: rerun
@@ -45,10 +49,13 @@ struct DistStats
     u64 diskLoads = 0;   ///< lookups served from the on-disk TraceStore
     u64 storeSaves = 0;  ///< traces newly persisted to the store
     u64 bytesResident = 0; ///< trace bytes held across workers at exit
-    // Driver-side scheduling counters.
+    // Driver-side scheduling counters.  Jobs count grid points (the
+    // journal/aggregation unit); groups count the batched trace groups
+    // those points were dispatched in.
     u64 jobsRun = 0;     ///< grid points executed by workers
     u64 jobsResumed = 0; ///< grid points restored from the journal
-    u64 steals = 0;      ///< jobs migrated off another worker's shard
+    u64 groupsRun = 0;   ///< work units dispatched (trace groups)
+    u64 steals = 0;      ///< units migrated off another worker's shard
     unsigned workers = 0;
 
     std::string summary() const;
@@ -64,6 +71,11 @@ struct DistOptions
     u64 cacheBudget = TraceCache::budgetFromEnv();
     /** Crash-resume journal file; "" disables journaling. */
     std::string journalPath;
+    /** Shard by trace group and batch each group on the worker (one
+     *  decode and one trace pass per group); off = one point per unit,
+     *  the pre-batching behaviour.  Results are bit-identical either
+     *  way, and the journal format does not change. */
+    bool batch = sweepBatchFromEnv();
     /** Suppress worker warn()/inform() output. */
     bool quiet = vmmx::quiet();
     /** Binary to self-exec as the worker ("" forks without exec).  The

@@ -75,6 +75,41 @@ decode(const std::vector<u8> &frame, JobMsg &m)
 }
 
 std::vector<u8>
+encode(const JobGroupMsg &m)
+{
+    wire::Writer w = begin(Msg::JobGroup);
+    w.varint(m.indices.size());
+    for (size_t i = 0; i < m.indices.size(); ++i) {
+        w.fixed32(m.indices[i]);
+        serialize(w, m.points[i]);
+    }
+    return w.take();
+}
+
+bool
+decode(const std::vector<u8> &frame, JobGroupMsg &m)
+{
+    if (frameType(frame) != Msg::JobGroup)
+        return false;
+    wire::Reader r = body(frame);
+    u64 n = r.varint();
+    if (!r.ok() || n == 0 || n > r.remaining())
+        return false;
+    m.indices.clear();
+    m.points.clear();
+    m.indices.reserve(n);
+    m.points.reserve(n);
+    for (u64 i = 0; i < n; ++i) {
+        m.indices.push_back(r.fixed32());
+        SweepPoint p;
+        if (!deserialize(r, p))
+            return false;
+        m.points.push_back(std::move(p));
+    }
+    return r.ok() && r.atEnd();
+}
+
+std::vector<u8>
 encodeDone()
 {
     return begin(Msg::Done).take();

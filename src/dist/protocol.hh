@@ -5,11 +5,13 @@
  * Transport is a byte stream (a socketpair today; the framing is
  * transport-agnostic) carrying length-prefixed frames whose payload is a
  * one-byte message type followed by a typed body.  The driver opens with
- * Setup, then streams Jobs; the worker answers each Job with a Result and
- * answers the final Done with a Stats frame before exiting.  A worker
- * that cannot continue sends Error and exits nonzero.
+ * Setup, then streams work -- single grid points (Job) or whole trace
+ * groups (JobGroup, the batched default, answered with one Result per
+ * point so the journal and aggregation formats are identical in both
+ * modes).  The worker answers the final Done with a Stats frame before
+ * exiting.  A worker that cannot continue sends Error and exits nonzero.
  *
- *   driver -> worker : Setup, Job*, Done
+ *   driver -> worker : Setup, (Job | JobGroup)*, Done
  *   worker -> driver : Result*, Stats | Error
  */
 
@@ -26,7 +28,8 @@
 namespace vmmx::dist
 {
 
-constexpr u32 protocolVersion = 1;
+/** v2: JobGroup frames (batched multi-config execution of one trace). */
+constexpr u32 protocolVersion = 2;
 
 enum class Msg : u8
 {
@@ -36,6 +39,7 @@ enum class Msg : u8
     Result,    ///< worker->driver: finished grid point
     Stats,     ///< worker->driver: end-of-session cache statistics
     Error,     ///< worker->driver: fatal worker-side failure
+    JobGroup,  ///< driver->worker: a trace group to run as one batch
 };
 
 struct SetupMsg
@@ -50,6 +54,17 @@ struct JobMsg
 {
     u32 index = 0; ///< submission-order slot in the grid
     SweepPoint point;
+};
+
+/**
+ * A whole trace group: points that replay the same trace, run by the
+ * worker as one batched pass (runTraceBatch).  Answered with one Result
+ * frame per entry, in entry order.
+ */
+struct JobGroupMsg
+{
+    std::vector<u32> indices; ///< submission-order slots, one per point
+    std::vector<SweepPoint> points; ///< parallel to indices
 };
 
 struct ResultMsg
@@ -70,6 +85,7 @@ struct StatsMsg
 
 std::vector<u8> encode(const SetupMsg &m);
 std::vector<u8> encode(const JobMsg &m);
+std::vector<u8> encode(const JobGroupMsg &m);
 std::vector<u8> encodeDone();
 std::vector<u8> encode(const ResultMsg &m);
 std::vector<u8> encode(const StatsMsg &m);
@@ -81,6 +97,7 @@ Msg frameType(const std::vector<u8> &frame);
 /** Decode the body of a frame whose type was already checked. */
 bool decode(const std::vector<u8> &frame, SetupMsg &m);
 bool decode(const std::vector<u8> &frame, JobMsg &m);
+bool decode(const std::vector<u8> &frame, JobGroupMsg &m);
 bool decode(const std::vector<u8> &frame, ResultMsg &m);
 bool decode(const std::vector<u8> &frame, StatsMsg &m);
 bool decodeError(const std::vector<u8> &frame, std::string &what);

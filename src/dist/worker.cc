@@ -74,26 +74,48 @@ workerServe(int fd)
             rc = 0;
             break;
         }
-        JobMsg job;
-        if (type != Msg::Job || !decode(frame, job)) {
+        // Normalize both work shapes into one group: a Job frame is a
+        // group of one, a JobGroup frame is a whole trace group that
+        // runs as a single batched pass.
+        JobGroupMsg group;
+        if (type == Msg::Job) {
+            JobMsg job;
+            if (!decode(frame, job)) {
+                wire::writeFrame(fd,
+                                 encodeError("malformed frame from driver"));
+                break;
+            }
+            group.indices.push_back(job.index);
+            group.points.push_back(std::move(job.point));
+        } else if (type != Msg::JobGroup || !decode(frame, group)) {
             wire::writeFrame(fd, encodeError("malformed frame from driver"));
             break;
         }
 
-        SharedTrace trace = resolveJobTrace(cache, job.point);
+        // All points of a group replay the same trace by construction;
+        // resolve it once through the worker's cache.
+        SharedTrace trace = resolveJobTrace(cache, group.points[0]);
         if (!trace) {
             wire::writeFrame(
-                fd, encodeError("job " + std::to_string(job.index) +
+                fd, encodeError("job " + std::to_string(group.indices[0]) +
                                 " carries no trace"));
             break;
         }
-        ResultMsg res;
-        res.index = job.index;
-        res.traceLength = trace->size();
-        res.result = runTrace(
-            makeMachine(job.point.kind, job.point.way, job.point.overrides),
-            *trace);
-        if (!wire::writeFrame(fd, encode(res)))
+        std::vector<MachineConfig> machines;
+        machines.reserve(group.points.size());
+        for (const SweepPoint &p : group.points)
+            machines.push_back(makeMachine(p.kind, p.way, p.overrides));
+        std::vector<RunResult> runs = runTraceBatch(machines, *trace);
+
+        bool sent = true;
+        for (size_t k = 0; k < runs.size() && sent; ++k) {
+            ResultMsg res;
+            res.index = group.indices[k];
+            res.traceLength = trace->size();
+            res.result = runs[k];
+            sent = wire::writeFrame(fd, encode(res));
+        }
+        if (!sent)
             break; // driver went away; nothing useful left to do
     }
     ::close(fd);

@@ -1,9 +1,37 @@
 #include "harness/harness_io.hh"
 
+#include <map>
+
 #include "trace/trace_io.hh"
 
 namespace vmmx
 {
+
+// ---- codec lockstep guards ----------------------------------------------
+// The wire layer must serialize every field of these structs, and the
+// distributed determinism guarantee rests on that: a field added to
+// RunStats or RunResult but not to the codecs below would silently
+// decode as zero on the driver side.  The struct sizes below are the
+// serialized field counts times the field width (every member is a u64
+// or an array of u64, so there is no padding); a new field trips the
+// assert until the matching serialize()/deserialize() pair -- and the
+// count here -- are updated together.
+constexpr size_t runStatsWireFields = 10 + numInstClasses;
+static_assert(sizeof(RunStats) == runStatsWireFields * sizeof(u64),
+              "RunStats gained or lost a field: update serialize()/"
+              "deserialize() and runStatsWireFields in lockstep");
+
+constexpr size_t runResultOwnWireFields = 6; // memory-system counters
+static_assert(sizeof(RunResult) ==
+                  sizeof(RunStats) + runResultOwnWireFields * sizeof(u64),
+              "RunResult gained or lost a field: update serialize()/"
+              "deserialize() and runResultOwnWireFields in lockstep");
+
+// Config serializes its whole key/value map, so any new state would be a
+// new member next to it -- which this size check catches.
+static_assert(sizeof(Config) == sizeof(std::map<std::string, std::string>),
+              "Config gained a member the key/value codec cannot see: "
+              "extend serialize()/deserialize() and this guard");
 
 void
 serialize(wire::Writer &w, const Config &c)

@@ -1,23 +1,50 @@
 #include "harness/runner.hh"
 
+#include <memory>
+
 namespace vmmx
 {
+
+std::vector<RunResult>
+runTraceBatch(std::span<const MachineConfig> machines,
+              const std::vector<InstRecord> &trace)
+{
+    // One private MemorySystem + SimContext per configuration: contexts
+    // share nothing mutable, so the batched pass is bit-identical to N
+    // independent runs.
+    std::vector<std::unique_ptr<MemorySystem>> mems;
+    std::vector<std::unique_ptr<SimContext>> ctxs;
+    std::vector<SimContext *> batch;
+    mems.reserve(machines.size());
+    ctxs.reserve(machines.size());
+    batch.reserve(machines.size());
+    for (const MachineConfig &m : machines) {
+        mems.push_back(std::make_unique<MemorySystem>(m.mem));
+        ctxs.push_back(std::make_unique<SimContext>(m.core,
+                                                    mems.back().get()));
+        batch.push_back(ctxs.back().get());
+    }
+
+    runBatch(trace, batch);
+
+    std::vector<RunResult> results(machines.size());
+    for (size_t i = 0; i < machines.size(); ++i) {
+        RunResult &r = results[i];
+        r.core = ctxs[i]->finish();
+        r.l1Hits = mems[i]->l1Hits();
+        r.l1Misses = mems[i]->l1Misses();
+        r.l2Hits = mems[i]->l2Hits();
+        r.l2Misses = mems[i]->l2Misses();
+        r.vecAccesses = mems[i]->vecAccesses();
+        r.cohInvalidations = mems[i]->coherenceInvalidations();
+    }
+    return results;
+}
 
 RunResult
 runTrace(const MachineConfig &machine, const std::vector<InstRecord> &trace)
 {
-    MemorySystem mem(machine.mem);
-    OoOCore core(machine.core, &mem);
-
-    RunResult r;
-    r.core = core.run(trace);
-    r.l1Hits = mem.l1Hits();
-    r.l1Misses = mem.l1Misses();
-    r.l2Hits = mem.l2Hits();
-    r.l2Misses = mem.l2Misses();
-    r.vecAccesses = mem.vecAccesses();
-    r.cohInvalidations = mem.coherenceInvalidations();
-    return r;
+    return runTraceBatch({&machine, 1}, trace)[0];
 }
 
 } // namespace vmmx

@@ -1,11 +1,15 @@
 /**
  * @file
- * Experiment runner: replays a trace on a machine configuration and
- * returns the combined core + memory statistics.
+ * Experiment runner: replays a trace on one machine configuration -- or
+ * on a whole batch of configurations in a single pass over the trace --
+ * and returns the combined core + memory statistics per configuration.
  */
 
 #ifndef VMMX_HARNESS_RUNNER_HH
 #define VMMX_HARNESS_RUNNER_HH
+
+#include <span>
+#include <vector>
 
 #include "harness/machine.hh"
 #include "sim/core.hh"
@@ -29,7 +33,17 @@ struct RunResult
     bool operator==(const RunResult &o) const = default;
 };
 
-/** Run @p trace on @p machine from cold caches. */
+/**
+ * Run @p trace on every configuration in @p machines from cold caches,
+ * streaming the trace once: each record is decoded one time and stepped
+ * through all configurations' SimContexts before the next is touched.
+ * Results are in @p machines order and bit-identical to calling
+ * runTrace() per configuration.
+ */
+std::vector<RunResult> runTraceBatch(std::span<const MachineConfig> machines,
+                                     const std::vector<InstRecord> &trace);
+
+/** Run @p trace on @p machine from cold caches (the batch-of-one case). */
 RunResult runTrace(const MachineConfig &machine,
                    const std::vector<InstRecord> &trace);
 

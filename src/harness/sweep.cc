@@ -1,13 +1,27 @@
 #include "harness/sweep.hh"
 
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <map>
 #include <thread>
+#include <tuple>
 
 #include "common/logging.hh"
 #include "dist/driver.hh"
 
 namespace vmmx
 {
+
+bool
+sweepBatchFromEnv()
+{
+    const char *env = std::getenv("VMMX_SWEEP_BATCH");
+    if (!env)
+        return true;
+    return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+             std::strcmp(env, "false") == 0);
+}
 
 std::string
 SweepPoint::label() const
@@ -17,6 +31,51 @@ SweepPoint::label() const
     for (const auto &key : overrides.keys())
         s += "+" + key + "=" + overrides.getString(key);
     return s;
+}
+
+std::vector<std::vector<u32>>
+groupPointsByTrace(const std::vector<SweepPoint> &points,
+                   const std::vector<u32> &subset)
+{
+    // Kernel/app points resolve through the cache by (workload, name,
+    // kind) -- image size and seed are the cache defaults -- while
+    // explicit-trace points are identified by the trace object itself.
+    using Key = std::tuple<u8, std::string, u8, const void *>;
+    std::map<Key, size_t> index;
+    std::vector<std::vector<u32>> groups;
+    for (u32 i : subset) {
+        const SweepPoint &p = points[i];
+        Key key{static_cast<u8>(p.workload), p.name,
+                static_cast<u8>(p.kind),
+                static_cast<const void *>(p.trace.get())};
+        auto [it, fresh] = index.try_emplace(key, groups.size());
+        if (fresh)
+            groups.emplace_back();
+        groups[it->second].push_back(i);
+    }
+    return groups;
+}
+
+std::vector<std::vector<u32>>
+groupPointsByTrace(const std::vector<SweepPoint> &points)
+{
+    std::vector<u32> all(points.size());
+    for (u32 i = 0; i < all.size(); ++i)
+        all[i] = i;
+    return groupPointsByTrace(points, all);
+}
+
+std::vector<std::vector<u32>>
+buildSweepUnits(const std::vector<SweepPoint> &points,
+                const std::vector<u32> &subset, bool batch)
+{
+    if (batch)
+        return groupPointsByTrace(points, subset);
+    std::vector<std::vector<u32>> units;
+    units.reserve(subset.size());
+    for (u32 i : subset)
+        units.push_back({i});
+    return units;
 }
 
 Sweep::Sweep(const SweepOptions &opts) : opts_(opts) {}
@@ -101,6 +160,26 @@ Sweep::runPoint(const SweepPoint &point) const
     return r;
 }
 
+void
+Sweep::runGroup(const std::vector<u32> &group,
+                std::vector<SweepResult> &results) const
+{
+    // One trace resolution and one trace pass for the whole group.
+    SharedTrace trace = resolve(points_[group[0]]);
+    std::vector<MachineConfig> machines;
+    machines.reserve(group.size());
+    for (u32 i : group)
+        machines.push_back(makeMachine(points_[i].kind, points_[i].way,
+                                       points_[i].overrides));
+    std::vector<RunResult> runs = runTraceBatch(machines, *trace);
+    for (size_t k = 0; k < group.size(); ++k) {
+        SweepResult &r = results[group[k]];
+        r.point = points_[group[k]];
+        r.traceLength = trace->size();
+        r.result = runs[k];
+    }
+}
+
 std::vector<SweepResult>
 Sweep::runSerial() const
 {
@@ -119,8 +198,17 @@ Sweep::run() const
         dopts.processes = opts_.processes;
         dopts.storeDir = opts_.storeDir;
         dopts.journalPath = opts_.journalPath;
+        dopts.batch = opts_.batch;
         return dist::runSweep(points_, dopts, opts_.distStats);
     }
+
+    // The schedulable unit is a trace group (batched, the default) or a
+    // single point (batch off).
+    std::vector<u32> all(points_.size());
+    for (u32 i = 0; i < all.size(); ++i)
+        all[i] = i;
+    std::vector<std::vector<u32>> units =
+        buildSweepUnits(points_, all, opts_.batch);
 
     unsigned threads = opts_.threads;
     if (threads == 0) {
@@ -128,19 +216,30 @@ Sweep::run() const
         if (threads == 0)
             threads = 1;
     }
-    threads = std::min<unsigned>(threads, points_.size());
-    if (threads <= 1)
-        return runSerial();
+    threads = std::min<unsigned>(threads, unsigned(units.size()));
 
-    // Jobs are independent (per-job MemorySystem/OoOCore, immutable shared
-    // traces); workers pull the next undone index and write into their
-    // submission-order slot, so the result vector is deterministic.
+    if (threads <= 1) {
+        if (!opts_.batch)
+            return runSerial();
+        std::vector<SweepResult> results(points_.size());
+        for (const auto &unit : units)
+            runGroup(unit, results);
+        return results;
+    }
+
+    // Jobs are independent (per-configuration MemorySystem/SimContext,
+    // immutable shared traces); workers pull the next undone unit and
+    // write into its submission-order slots, so the result vector is
+    // deterministic.
     std::vector<SweepResult> results(points_.size());
     std::atomic<size_t> next{0};
     auto worker = [&]() {
-        for (size_t i = next.fetch_add(1); i < points_.size();
-             i = next.fetch_add(1)) {
-            results[i] = runPoint(points_[i]);
+        for (size_t u = next.fetch_add(1); u < units.size();
+             u = next.fetch_add(1)) {
+            if (opts_.batch)
+                runGroup(units[u], results);
+            else
+                results[units[u][0]] = runPoint(points_[units[u][0]]);
         }
     };
 

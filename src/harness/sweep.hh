@@ -6,11 +6,18 @@
  * grid of machine configurations.  A Sweep collects the grid points,
  * resolves each point's trace through the shared TraceCache (so a trace
  * is generated once per process, not once per point), and fans the
- * independent runTrace jobs across a thread pool.  MemorySystem and
- * OoOCore are constructed per job and the cached traces are immutable, so
- * jobs share nothing mutable; results are therefore bit-identical to the
- * serial loop and are returned in submission order regardless of the
- * execution interleaving.
+ * independent jobs across a thread pool.
+ *
+ * By default the engine runs *batched*: grid points are grouped by the
+ * trace they replay, and each group executes as one runTraceBatch() call
+ * that streams the trace once while stepping every configuration of the
+ * group against each record -- one decode, one pass over trace memory, N
+ * configurations' worth of statistics.  SweepOptions::batch (env
+ * VMMX_SWEEP_BATCH=0 to disable) falls back to one runTrace() job per
+ * point.  Either way, MemorySystem and SimContext state is private per
+ * configuration and the cached traces are immutable, so results are
+ * bit-identical to the serial per-point loop and are returned in
+ * submission order regardless of the execution interleaving.
  */
 
 #ifndef VMMX_HARNESS_SWEEP_HH
@@ -70,18 +77,27 @@ struct SweepResult
     }
 };
 
+/** Default for SweepOptions::batch: true unless $VMMX_SWEEP_BATCH is
+ *  "0", "off" or "false". */
+bool sweepBatchFromEnv();
+
 struct SweepOptions
 {
     /** Worker threads; 0 picks std::thread::hardware_concurrency(). */
     unsigned threads = 0;
     /** Trace cache to resolve against; null uses the process-wide one. */
     TraceCache *cache = nullptr;
+    /** Group points by trace and run each group as one batched pass
+     *  (runTraceBatch).  Off: one runTrace job per point, as before the
+     *  batched engine.  Results are bit-identical either way. */
+    bool batch = sweepBatchFromEnv();
 
     // ---- multi-process backend (src/dist/) ---------------------------
     /** Worker process count; 0 stays on the in-process thread pool.
      *  When > 0, run() shards the grid across forked worker processes
      *  that share traces through the on-disk TraceStore; results remain
-     *  bit-identical to the serial loop. */
+     *  bit-identical to the serial loop.  With batch on, sharding is by
+     *  trace group, so workers batch too. */
     unsigned processes = 0;
     /** Trace store directory; "" uses TraceStore::defaultDir(). */
     std::string storeDir;
@@ -90,6 +106,31 @@ struct SweepOptions
     /** Optional out-param for the distributed run's statistics. */
     dist::DistStats *distStats = nullptr;
 };
+
+/**
+ * Indices of @p subset (submission indices into @p points) grouped by
+ * the trace the points replay: kernel/app points group by (workload,
+ * name, flavour); explicit-trace points group by the trace object.
+ * Groups are ordered by first appearance and keep ascending indices, so
+ * the grouping is deterministic for a given grid.
+ */
+std::vector<std::vector<u32>>
+groupPointsByTrace(const std::vector<SweepPoint> &points,
+                   const std::vector<u32> &subset);
+
+/** Group every point of @p points (subset = the whole grid). */
+std::vector<std::vector<u32>>
+groupPointsByTrace(const std::vector<SweepPoint> &points);
+
+/**
+ * The schedulable units of a sweep over @p subset: whole trace groups
+ * when @p batch, one point per unit otherwise.  Shared by the
+ * thread-pool engine and the multi-process driver so both backends
+ * always form units the same way.
+ */
+std::vector<std::vector<u32>>
+buildSweepUnits(const std::vector<SweepPoint> &points,
+                const std::vector<u32> &subset, bool batch);
 
 class Sweep
 {
@@ -120,17 +161,21 @@ class Sweep
     // ---- execution ---------------------------------------------------
     /**
      * Run every point and return results in submission order.  Uses the
-     * configured thread count; a count of 1 (or a single-point sweep)
+     * configured thread count; a count of 1 (or a single-job sweep)
      * stays on the calling thread.
      */
     std::vector<SweepResult> run() const;
 
-    /** Reference serial loop on the calling thread (determinism checks,
-     *  speedup baselines).  Still resolves traces through the cache. */
+    /** Reference serial per-point loop on the calling thread (the
+     *  determinism baseline; never batches).  Still resolves traces
+     *  through the cache. */
     std::vector<SweepResult> runSerial() const;
 
   private:
     SweepResult runPoint(const SweepPoint &point) const;
+    /** Run one trace group batched; writes into submission slots. */
+    void runGroup(const std::vector<u32> &group,
+                  std::vector<SweepResult> &results) const;
     SharedTrace resolve(const SweepPoint &point) const;
 
     SweepOptions opts_;

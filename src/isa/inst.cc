@@ -33,20 +33,6 @@ regStr(const RegId &r)
 
 } // namespace
 
-bool
-InstRecord::isLoad() const
-{
-    return op == Opcode::LOAD || op == Opcode::PLOAD ||
-           op == Opcode::VLOAD || op == Opcode::VLOADP;
-}
-
-bool
-InstRecord::isStore() const
-{
-    return op == Opcode::STORE || op == Opcode::PSTORE ||
-           op == Opcode::VSTORE || op == Opcode::VSTOREP;
-}
-
 std::string
 InstRecord::toString() const
 {

@@ -80,8 +80,16 @@ struct InstRecord
     const OpTraits &info() const { return traits(op); }
     InstClass cls() const { return info().cls; }
     bool isMem() const { return info().fu == FuType::Mem; }
-    bool isLoad() const;
-    bool isStore() const;
+    bool isLoad() const
+    {
+        return op == Opcode::LOAD || op == Opcode::PLOAD ||
+               op == Opcode::VLOAD || op == Opcode::VLOADP;
+    }
+    bool isStore() const
+    {
+        return op == Opcode::STORE || op == Opcode::PSTORE ||
+               op == Opcode::VSTORE || op == Opcode::VSTOREP;
+    }
     bool isBranch() const { return cls() == InstClass::SCTRL; }
     bool isVector() const
     {

@@ -16,6 +16,13 @@ CacheArray::CacheArray(const CacheParams &params)
     vmmx_assert((numSets_ & (numSets_ - 1)) == 0,
                 "number of sets must be a power of two");
     lineMask_ = params_.lineBytes - 1;
+    lineShift_ = 0;
+    while ((1u << lineShift_) < params_.lineBytes)
+        ++lineShift_;
+    setMask_ = numSets_ - 1;
+    bankMask_ = (params_.banks && !(params_.banks & (params_.banks - 1)))
+                    ? params_.banks - 1
+                    : 0;
     lines_.resize(size_t(numSets_) * params_.assoc);
 }
 
@@ -23,8 +30,7 @@ const CacheArray::Line *
 CacheArray::find(Addr addr) const
 {
     Addr line = lineAddr(addr);
-    u64 set = (line / params_.lineBytes) % numSets_;
-    const Line *base = &lines_[size_t(set) * params_.assoc];
+    const Line *base = &lines_[size_t(setOf(line)) * params_.assoc];
     for (u32 w = 0; w < params_.assoc; ++w) {
         if (base[w].valid && base[w].tag == line)
             return &base[w];
@@ -64,8 +70,7 @@ CacheArray::fill(Addr addr, bool dirty)
     }
 
     Addr line = lineAddr(addr);
-    u64 set = (line / params_.lineBytes) % numSets_;
-    Line *base = &lines_[size_t(set) * params_.assoc];
+    Line *base = &lines_[size_t(setOf(line)) * params_.assoc];
     Line *victim = &base[0];
     for (u32 w = 0; w < params_.assoc; ++w) {
         if (!base[w].valid) {

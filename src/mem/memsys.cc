@@ -31,6 +31,11 @@ MemorySystem::MemorySystem(const MemParams &params)
     vmmx_assert(params_.l1Ports > 0, "need at least one L1 port");
     vmmx_assert(params_.vecPortBytes >= 8, "vector port below 64 bits");
     mshr_.reserve(params_.mshrs);
+    if (params_.l1PortBytes &&
+        !(params_.l1PortBytes & (params_.l1PortBytes - 1))) {
+        while ((1u << l1PortShift_) < params_.l1PortBytes)
+            ++l1PortShift_;
+    }
 }
 
 void
@@ -162,7 +167,9 @@ Cycle
 MemorySystem::reserveL1(Addr addr, u32 bytes, Cycle when)
 {
     u32 portCycles = std::max<u32>(
-        1, (bytes + params_.l1PortBytes - 1) / params_.l1PortBytes);
+        1, l1PortShift_
+               ? (bytes + params_.l1PortBytes - 1) >> l1PortShift_
+               : (bytes + params_.l1PortBytes - 1) / params_.l1PortBytes);
 
     // Earliest-free port.
     auto port = std::min_element(l1PortFree_.begin(), l1PortFree_.end());

@@ -103,6 +103,10 @@ class MemorySystem
     CacheArray l1_;
     CacheArray l2_;
 
+    /** log2(l1PortBytes) when it is a power of two (it is in every
+     *  Table IV machine), else 0 to take the division fallback. */
+    u32 l1PortShift_ = 0;
+
     std::vector<Cycle> l1PortFree_;
     std::vector<Cycle> l1BankFree_;
     Cycle vecPortFree_ = 0;

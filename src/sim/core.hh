@@ -19,20 +19,24 @@
  * reservations made by older instructions -- equivalent to a cycle-driven
  * model for this machine (no speculation past unresolved branches is
  * modelled other than through the redirect penalty).
+ *
+ * All mutable per-run state lives in a SimContext (sim/sim_context.hh);
+ * OoOCore is the single-configuration convenience wrapper around it.
+ * To replay one trace on many configurations at once -- one decode, one
+ * pass over trace memory -- use runBatch() with one SimContext per
+ * configuration, or the harness-level runTraceBatch().
  */
 
 #ifndef VMMX_SIM_CORE_HH
 #define VMMX_SIM_CORE_HH
 
-#include <memory>
 #include <vector>
 
 #include "isa/inst.hh"
 #include "mem/memsys.hh"
-#include "sim/bpred.hh"
 #include "sim/params.hh"
-#include "sim/resources.hh"
 #include "sim/runstats.hh"
+#include "sim/sim_context.hh"
 
 namespace vmmx
 {
@@ -41,72 +45,24 @@ class OoOCore
 {
   public:
     /** @param mem the memory system; not owned. */
-    OoOCore(const CoreParams &params, MemorySystem *mem);
+    OoOCore(const CoreParams &params, MemorySystem *mem)
+        : ctx_(params, mem)
+    {
+    }
 
     /** Replay @p trace from a cold pipeline; cache state persists across
      *  calls unless the memory system is reset. */
-    RunStats run(const std::vector<InstRecord> &trace);
+    RunStats run(const std::vector<InstRecord> &trace)
+    {
+        SimContext *const ctxs[] = {&ctx_};
+        runBatch(trace, ctxs);
+        return ctx_.finish();
+    }
 
-    const CoreParams &params() const { return params_; }
+    const CoreParams &params() const { return ctx_.params(); }
 
   private:
-    /** Process one instruction; updates all resource state. */
-    void step(const InstRecord &inst);
-
-    Cycle memoryTime(const InstRecord &inst, Cycle issue);
-
-    CoreParams params_;
-    MemorySystem *mem_;
-
-    WidthGate fetchGate_;
-    WidthGate renameGate_;
-    WidthGate commitGate_;
-    IssueQueueModel iq_;
-    SlotPool intPool_;
-    SlotPool fpPool_;
-    SlotPool simdPool_;
-    SlotPool simdIssuePool_;
-    BranchPredictor bpred_;
-
-    std::vector<RegFreeList> freeLists_;
-    /** regReady_[class][logical] = cycle the latest writer's value is
-     *  available. */
-    std::vector<std::vector<Cycle>> regReady_;
-
-    /** Commit-cycle ring for the ROB-occupancy constraint. */
-    std::vector<Cycle> robRing_;
-    u64 seq_ = 0;
-    Cycle lastCommit_ = 0;
-    Cycle fetchRedirect_ = 0;
-
-    struct PendingStore
-    {
-        Addr lo;
-        Addr hi;
-        Cycle done;
-    };
-
-    /**
-     * The last storeWindow stores, kept in a fixed ring (the newest
-     * overwrites the oldest, matching the deque this replaced).  The
-     * interval and completion-time bounds over the live entries let the
-     * per-load disambiguation walk be skipped outright when no pending
-     * store can overlap or is still in flight; they are conservative
-     * (never under-approximate) and are tightened on every full walk.
-     */
-    std::vector<PendingStore> stores_;
-    size_t storeHead_ = 0;
-    Cycle storesMaxDone_ = 0;
-    Addr storesLoMin_ = ~Addr(0);
-    Addr storesHiMax_ = 0;
-
-    void pushStore(Addr lo, Addr hi, Cycle done);
-    /** @return the load's issue cycle after waiting for overlapping
-     *  older stores still in flight at @p issue. */
-    Cycle disambiguate(Addr lo, Addr hi, Cycle issue);
-    void resetStores();
-
-    RunStats stats_;
+    SimContext ctx_;
 };
 
 } // namespace vmmx

@@ -1,109 +1,32 @@
 #include "sim/resources.hh"
 
-#include <algorithm>
-
-#include "common/logging.hh"
-
 namespace vmmx
 {
 
-Cycle
-WidthGate::pass(Cycle c)
+namespace
 {
-    if (c > cur_) {
-        cur_ = c;
-        used_ = 1;
-        return cur_;
-    }
-    // In-order stage: c <= cur_ means this instruction is ready no later
-    // than the stage's current cycle.
-    if (used_ < width_) {
-        ++used_;
-        return cur_;
-    }
-    ++cur_;
-    used_ = 1;
-    return cur_;
+
+u32
+nextPow2(u32 v)
+{
+    u32 p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
 }
 
-void
-WidthGate::reset()
-{
-    cur_ = 0;
-    used_ = 0;
-}
-
-Cycle
-SlotPool::acquire(Cycle c, Cycle occupancy)
-{
-    vmmx_assert(!free_.empty(), "slot pool with zero units");
-    auto slot = std::min_element(free_.begin(), free_.end());
-    Cycle start = std::max(c, *slot);
-    *slot = start + std::max<Cycle>(occupancy, 1);
-    return start;
-}
-
-void
-SlotPool::reset()
-{
-    std::fill(free_.begin(), free_.end(), 0);
-}
-
-Cycle
-IssueQueueModel::waitForSpace(Cycle c)
-{
-    while (resident_.size() >= capacity_) {
-        Cycle leaves = resident_.top();
-        resident_.pop();
-        if (leaves >= c)
-            c = leaves + 1;
-    }
-    return c;
-}
-
-void
-IssueQueueModel::reset()
-{
-    resident_ = {};
-}
+} // namespace
 
 RegFreeList::RegFreeList(unsigned physRegs, unsigned logicalRegs)
-    : total_(physRegs),
-      free_(physRegs - logicalRegs),
-      initialFree_(physRegs - logicalRegs)
+    : free_(physRegs - logicalRegs), initialFree_(physRegs - logicalRegs)
 {
     vmmx_assert(physRegs > logicalRegs,
                 "physical registers must exceed logical registers");
-}
-
-void
-RegFreeList::harvest(Cycle c)
-{
-    while (!releases_.empty() && releases_.top() <= c) {
-        releases_.pop();
-        ++free_;
-    }
-}
-
-Cycle
-RegFreeList::allocate(Cycle c)
-{
-    harvest(c);
-    while (free_ == 0) {
-        vmmx_assert(!releases_.empty(),
-                    "rename deadlock: no free registers and none in flight");
-        c = std::max(c, releases_.top());
-        harvest(c);
-    }
-    --free_;
-    return c;
-}
-
-void
-RegFreeList::reset()
-{
-    releases_ = {};
-    free_ = initialFree_;
+    // At most physRegs mappings can be pending release at once; one
+    // spare slot keeps head != tail unambiguous at full occupancy.
+    u32 cap = nextPow2(u32(physRegs) + 1);
+    ring_.assign(cap, 0);
+    mask_ = cap - 1;
 }
 
 } // namespace vmmx

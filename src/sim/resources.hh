@@ -8,14 +8,23 @@
  * Instructions are processed in program order; these helpers answer "at
  * which cycle >= c can this instruction acquire the resource" while
  * keeping the acquired reservations.
+ *
+ * Every model here sits on the per-instruction hot path of the timing
+ * loop (the profile is dominated by them, not by the caches), so they
+ * are defined inline and avoid heap-backed containers: the issue queue
+ * is a flat array with a min scan (capacity is a handful of entries),
+ * and the free lists exploit that releases arrive in non-decreasing
+ * commit order, turning the priority queue this replaced into a plain
+ * FIFO ring with identical semantics.
  */
 
 #ifndef VMMX_SIM_RESOURCES_HH
 #define VMMX_SIM_RESOURCES_HH
 
-#include <queue>
+#include <algorithm>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace vmmx
@@ -31,9 +40,29 @@ class WidthGate
     explicit WidthGate(unsigned width) : width_(width) {}
 
     /** @return the cycle at which the next instruction passes (>= c). */
-    Cycle pass(Cycle c);
+    Cycle pass(Cycle c)
+    {
+        if (c > cur_) {
+            cur_ = c;
+            used_ = 1;
+            return cur_;
+        }
+        // In-order stage: c <= cur_ means this instruction is ready no
+        // later than the stage's current cycle.
+        if (used_ < width_) {
+            ++used_;
+            return cur_;
+        }
+        ++cur_;
+        used_ = 1;
+        return cur_;
+    }
 
-    void reset();
+    void reset()
+    {
+        cur_ = 0;
+        used_ = 0;
+    }
 
   private:
     unsigned width_;
@@ -49,12 +78,24 @@ class WidthGate
 class SlotPool
 {
   public:
-    explicit SlotPool(unsigned slots) : free_(slots, 0) {}
+    explicit SlotPool(unsigned slots) : free_(slots, 0)
+    {
+        vmmx_assert(slots > 0, "slot pool with zero units");
+    }
 
     /** @return start cycle >= c at which a unit was acquired. */
-    Cycle acquire(Cycle c, Cycle occupancy = 1);
+    Cycle acquire(Cycle c, Cycle occupancy = 1)
+    {
+        Cycle *slot = free_.data();
+        for (size_t i = 1; i < free_.size(); ++i)
+            if (free_[i] < *slot)
+                slot = &free_[i];
+        Cycle start = std::max(c, *slot);
+        *slot = start + std::max<Cycle>(occupancy, 1);
+        return start;
+    }
 
-    void reset();
+    void reset() { std::fill(free_.begin(), free_.end(), 0); }
 
   private:
     std::vector<Cycle> free_;
@@ -64,30 +105,57 @@ class SlotPool
  * Issue-queue occupancy: entries are held from rename until issue.  The
  * caller asks for space before renaming and registers the (later
  * computed) issue cycle afterwards.
+ *
+ * Resident issue cycles live in a flat array of at most capacity
+ * entries; taking space when full extracts the minimum (the entry that
+ * leaves earliest) by linear scan, exactly the order the min-heap this
+ * replaced produced.
  */
 class IssueQueueModel
 {
   public:
-    explicit IssueQueueModel(unsigned capacity) : capacity_(capacity) {}
+    explicit IssueQueueModel(unsigned capacity) : capacity_(capacity)
+    {
+        resident_.reserve(capacity);
+    }
 
     /** @return earliest cycle >= c with a free entry. */
-    Cycle waitForSpace(Cycle c);
+    Cycle waitForSpace(Cycle c)
+    {
+        while (resident_.size() >= capacity_) {
+            size_t m = 0;
+            for (size_t i = 1; i < resident_.size(); ++i)
+                if (resident_[i] < resident_[m])
+                    m = i;
+            Cycle leaves = resident_[m];
+            resident_[m] = resident_.back();
+            resident_.pop_back();
+            if (leaves >= c)
+                c = leaves + 1;
+        }
+        return c;
+    }
 
     /** Record that the instruction renamed here leaves at @p issueCycle. */
-    void insert(Cycle issueCycle) { resident_.push(issueCycle); }
+    void insert(Cycle issueCycle) { resident_.push_back(issueCycle); }
 
-    void reset();
+    void reset() { resident_.clear(); }
 
   private:
     unsigned capacity_;
-    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>>
-        resident_;
+    std::vector<Cycle> resident_;
 };
 
 /**
  * Physical register free list for one register class.  A rename consumes
  * one register; committing a later writer of the same logical register
  * releases the previous mapping.
+ *
+ * Commit is in order, so release() sees non-decreasing cycles and the
+ * pending releases form a sorted FIFO: a power-of-two ring indexed by
+ * monotone head/tail counters replaces the priority queue bit for bit.
+ * At most total physical registers can be awaiting release, bounding
+ * the ring occupancy.
  */
 class RegFreeList
 {
@@ -96,23 +164,56 @@ class RegFreeList
 
     /** @return earliest cycle >= c at which a register can be allocated;
      *  performs the allocation. */
-    Cycle allocate(Cycle c);
+    Cycle allocate(Cycle c)
+    {
+        harvest(c);
+        while (free_ == 0) {
+            vmmx_assert(head_ != tail_,
+                        "rename deadlock: no free registers and none in "
+                        "flight");
+            c = std::max(c, ring_[head_ & mask_]);
+            harvest(c);
+        }
+        --free_;
+        return c;
+    }
 
-    /** A previous mapping becomes free when its successor commits. */
-    void release(Cycle commitCycle) { releases_.push(commitCycle); }
+    /** A previous mapping becomes free when its successor commits;
+     *  successive commits never move backwards in time (the ring is
+     *  sorted only because of this -- fail fast if a caller breaks it,
+     *  since harvest() would otherwise silently strand entries). */
+    void release(Cycle commitCycle)
+    {
+        vmmx_assert(head_ == tail_ ||
+                        commitCycle >= ring_[(tail_ - 1) & mask_],
+                    "free-list releases must be in commit order");
+        ring_[tail_ & mask_] = commitCycle;
+        ++tail_;
+    }
 
-    void reset();
+    void reset()
+    {
+        head_ = tail_ = 0;
+        free_ = initialFree_;
+    }
 
     unsigned freeNow() const { return free_; }
 
   private:
-    void harvest(Cycle c);
+    void harvest(Cycle c)
+    {
+        while (head_ != tail_ && ring_[head_ & mask_] <= c) {
+            ++head_;
+            ++free_;
+        }
+    }
 
-    unsigned total_;
+    std::vector<Cycle> ring_; ///< pending release cycles, oldest first
+    u32 head_ = 0;
+    u32 tail_ = 0;
+    u32 mask_;
     unsigned free_;
     unsigned initialFree_;
-    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>>
-        releases_;
 };
 
 } // namespace vmmx

@@ -1,0 +1,420 @@
+#include "sim/sim_context.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vmmx
+{
+
+namespace
+{
+
+size_t
+regClassIdx(RegClass c)
+{
+    return static_cast<size_t>(c);
+}
+
+/** Logical register table sizes, fixed per class. */
+constexpr size_t logicalTableSize[numRegClasses] = {64, 64, 64, 8};
+
+/** Offsets of each class inside the flat ready table. */
+constexpr size_t readyOffset[numRegClasses] = {0, 64, 128, 192};
+
+/** Records decoded per block.  Context state (register tables, ROB and
+ *  store rings, cache tags) is large enough that switching contexts too
+ *  often costs more than re-streaming decoded records, so blocks are
+ *  sized for a 2 MiB decoded footprint: measured fastest on both short
+ *  kernel traces (single block) and multi-MiB app traces, while
+ *  bounding the scratch buffer for arbitrarily long traces. */
+constexpr size_t decodeBlock = 32768;
+
+} // namespace
+
+DecodedInst
+decodeInst(const InstRecord &inst)
+{
+    const OpTraits &info = inst.info();
+
+    DecodedInst d;
+    d.addr = inst.addr;
+    d.staticId = inst.staticId;
+    d.stride = inst.stride;
+    d.vl = inst.vl;
+    d.rows = inst.rows();
+    d.rowBytes = inst.rowBytes;
+    d.region = inst.region;
+    d.fu = static_cast<u8>(info.fu);
+    d.latency = info.latency;
+    d.clsIdx = static_cast<u8>(info.cls);
+    d.mulOcc = info.latency > 4 ? info.latency : 1;
+    d.transp = inst.op == Opcode::VTRANSP;
+
+    u8 flags = 0;
+    if (inst.isLoad())
+        flags |= DecodedInst::kLoad;
+    if (inst.isStore())
+        flags |= DecodedInst::kStore;
+    if (info.cls == InstClass::SCTRL) {
+        flags |= DecodedInst::kBranch;
+        if (inst.op == Opcode::BR)
+            flags |= DecodedInst::kCondBr;
+    }
+    if (inst.taken)
+        flags |= DecodedInst::kTaken;
+    if (info.fu != FuType::None)
+        flags |= DecodedInst::kTakesIq;
+    if (inst.op == Opcode::VLOAD || inst.op == Opcode::VSTORE ||
+        inst.op == Opcode::VLOADP || inst.op == Opcode::VSTOREP)
+        flags |= DecodedInst::kVecMem;
+    // Accumulating and partial-write ops read their destination too.
+    if (inst.dst.valid() &&
+        ((inst.dst.cls == RegClass::Acc && inst.op != Opcode::VACCCLR) ||
+         inst.op == Opcode::VLOADP || inst.op == Opcode::VACCPACK))
+        flags |= DecodedInst::kReadsDst;
+    d.flags = flags;
+
+    if (inst.dst.valid()) {
+        d.dstCls = u8(regClassIdx(inst.dst.cls));
+        vmmx_assert(inst.dst.idx < logicalTableSize[d.dstCls],
+                    "logical register out of range");
+        d.dstReg = u8(readyOffset[d.dstCls] + inst.dst.idx);
+    }
+    for (const RegId *src : {&inst.src0, &inst.src1, &inst.src2}) {
+        if (!src->valid())
+            continue;
+        size_t cls = regClassIdx(src->cls);
+        vmmx_assert(src->idx < logicalTableSize[cls],
+                    "logical register out of range");
+        d.srcReg[d.nSrcs] = u8(readyOffset[cls] + src->idx);
+        ++d.nSrcs;
+    }
+
+    if (info.fu == FuType::Mem) {
+        // Footprint [lo, hi) of the access, covering all strided rows.
+        Addr lo = inst.addr;
+        Addr hi = inst.addr;
+        if (inst.vl > 0 && inst.stride != 0) {
+            s64 span = s64(inst.stride) * (inst.rows() - 1);
+            if (span < 0)
+                lo = Addr(s64(lo) + span);
+            else
+                hi = Addr(s64(hi) + span);
+        }
+        hi += inst.rowBytes;
+        d.lo = lo;
+        d.hi = hi;
+    }
+    return d;
+}
+
+SimContext::SimContext(const CoreParams &params, MemorySystem *mem)
+    : params_(params),
+      mem_(mem),
+      fetchGate_(params.way),
+      renameGate_(params.way),
+      commitGate_(params.way),
+      iq_(params.iqSize),
+      intPool_(params.intFus),
+      fpPool_(params.fpFus),
+      simdPool_(params.simdFus),
+      simdIssuePool_(params.simdIssue),
+      bpred_(params.bpredEntries),
+      robRing_(params.robSize, 0)
+{
+    vmmx_assert(mem_ != nullptr, "simulation context needs a memory system");
+    stores_.reserve(params.storeWindow);
+
+    freeLists_.reserve(numRegClasses);
+    freeLists_.emplace_back(params.physInt, params.logicalInt);
+    freeLists_.emplace_back(params.physFp, params.logicalFp);
+    freeLists_.emplace_back(params.physSimd, params.logicalSimd);
+    freeLists_.emplace_back(params.physAcc, params.logicalAcc);
+
+    static_assert(readySlots ==
+                  readyOffset[numRegClasses - 1] +
+                      logicalTableSize[numRegClasses - 1]);
+    regReady_.fill(0);
+
+    vmmx_assert(params.lanesPerFu > 0, "lanesPerFu must be positive");
+    lanesOcc_[0] = 1;
+    for (u16 vl = 1; vl <= 16; ++vl)
+        lanesOcc_[vl] = u8((vl + params.lanesPerFu - 1) / params.lanesPerFu);
+}
+
+void
+SimContext::reset()
+{
+    stats_ = RunStats{};
+    fetchGate_.reset();
+    renameGate_.reset();
+    commitGate_.reset();
+    iq_.reset();
+    intPool_.reset();
+    fpPool_.reset();
+    simdPool_.reset();
+    simdIssuePool_.reset();
+    bpred_.reset();
+    for (auto &fl : freeLists_)
+        fl.reset();
+    regReady_.fill(0);
+    std::fill(robRing_.begin(), robRing_.end(), 0);
+    resetStores();
+    robPos_ = 0;
+    lastCommit_ = 0;
+    fetchRedirect_ = 0;
+}
+
+void
+SimContext::pushStore(Addr lo, Addr hi, Cycle done)
+{
+    if (params_.storeWindow == 0)
+        return;
+    if (stores_.size() < params_.storeWindow) {
+        stores_.push_back({lo, hi, done});
+    } else {
+        stores_[storeHead_] = {lo, hi, done};
+        if (++storeHead_ == stores_.size())
+            storeHead_ = 0;
+    }
+    storesMaxDone_ = std::max(storesMaxDone_, done);
+    storesLoMin_ = std::min(storesLoMin_, lo);
+    storesHiMax_ = std::max(storesHiMax_, hi);
+}
+
+Cycle
+SimContext::disambiguate(Addr lo, Addr hi, Cycle issue)
+{
+    // The bounds over-approximate the live window, so a miss here proves
+    // no overlapping store is still in flight.
+    if (stores_.empty() || issue >= storesMaxDone_ ||
+        hi <= storesLoMin_ || lo >= storesHiMax_) {
+        return issue;
+    }
+
+    // The final issue cycle is max(issue, done of overlapping in-flight
+    // stores) -- order independent, so the ring is walked linearly while
+    // the bounds are re-tightened to the exact live set.
+    Cycle maxDone = 0;
+    Addr loMin = ~Addr(0);
+    Addr hiMax = 0;
+    for (const PendingStore &st : stores_) {
+        if (st.done > issue && st.lo < hi && lo < st.hi)
+            issue = st.done;
+        maxDone = std::max(maxDone, st.done);
+        loMin = std::min(loMin, st.lo);
+        hiMax = std::max(hiMax, st.hi);
+    }
+    storesMaxDone_ = maxDone;
+    storesLoMin_ = loMin;
+    storesHiMax_ = hiMax;
+    return issue;
+}
+
+void
+SimContext::resetStores()
+{
+    stores_.clear();
+    storeHead_ = 0;
+    storesMaxDone_ = 0;
+    storesLoMin_ = ~Addr(0);
+    storesHiMax_ = 0;
+}
+
+void
+SimContext::step(const DecodedInst &inst)
+{
+    // ---- fetch ----
+    Cycle fetch = fetchGate_.pass(fetchRedirect_);
+
+    // ---- rename / dispatch ----
+    Cycle rn = fetch + params_.frontDepth;
+
+    // ROB space: the instruction robSize places earlier must have
+    // committed.
+    Cycle robFree = robRing_[robPos_];
+    if (robFree + 1 > rn) {
+        rn = robFree + 1;
+        ++stats_.renameStallRob;
+    }
+
+    // Issue-queue space (VSETVL folds into rename and takes no entry).
+    bool takesIq = inst.has(DecodedInst::kTakesIq);
+    if (takesIq) {
+        Cycle iqReady = iq_.waitForSpace(rn);
+        if (iqReady > rn) {
+            rn = iqReady;
+            ++stats_.renameStallIq;
+        }
+    }
+
+    // Physical destination register.
+    if (inst.dstCls != DecodedInst::noDst) {
+        RegFreeList &fl = freeLists_[inst.dstCls];
+        Cycle regReady = fl.allocate(rn);
+        if (regReady > rn) {
+            rn = regReady;
+            ++stats_.renameStallRegs;
+        }
+    }
+
+    rn = renameGate_.pass(rn);
+
+    // ---- operand readiness ----
+    Cycle ready = rn + 1;
+    for (unsigned s = 0; s < inst.nSrcs; ++s)
+        ready = std::max(ready, regReady_[inst.srcReg[s]]);
+    if (inst.has(DecodedInst::kReadsDst))
+        ready = std::max(ready, regReady_[inst.dstReg]);
+
+    // ---- issue and execute ----
+    Cycle done;
+    Cycle issue = ready;
+    switch (static_cast<FuType>(inst.fu)) {
+      case FuType::IntAlu:
+        issue = intPool_.acquire(ready);
+        done = issue + inst.latency;
+        break;
+      case FuType::IntMul:
+        issue = intPool_.acquire(ready, inst.mulOcc);
+        done = issue + inst.latency;
+        break;
+      case FuType::Fp:
+        issue = fpPool_.acquire(ready);
+        done = issue + inst.latency;
+        break;
+      case FuType::Simd: {
+        // Vector instructions stream vl rows through lanesPerFu lanes.
+        Cycle occ = 1;
+        if (inst.vl > 0) {
+            if (inst.transp)
+                occ = inst.vl; // lane-exchange network
+            else if (inst.vl <= 16)
+                occ = lanesOcc_[inst.vl];
+            else
+                occ = (inst.vl + params_.lanesPerFu - 1) / params_.lanesPerFu;
+        }
+        issue = simdIssuePool_.acquire(ready);
+        issue = simdPool_.acquire(issue, occ);
+        done = issue + occ - 1 + inst.latency;
+        break;
+      }
+      case FuType::Mem: {
+        issue = ready;
+        if (inst.has(DecodedInst::kLoad)) {
+            // Wait for older overlapping stores still in flight.
+            issue = disambiguate(inst.lo, inst.hi, issue);
+        }
+        bool isWrite = inst.has(DecodedInst::kStore);
+        if (inst.has(DecodedInst::kVecMem)) {
+            done = mem_->vectorAccess(inst.addr, inst.rowBytes, inst.stride,
+                                      inst.rows, isWrite, issue);
+        } else {
+            done = mem_->scalarAccess(inst.addr, inst.rowBytes, isWrite,
+                                      issue);
+        }
+        if (isWrite)
+            pushStore(inst.lo, inst.hi, done);
+        ++stats_.memOps;
+        break;
+      }
+      case FuType::None:
+        issue = rn + 1;
+        done = issue;
+        break;
+      default:
+        panic("unknown FU type");
+    }
+
+    if (takesIq)
+        iq_.insert(issue);
+
+    // ---- writeback ----
+    if (inst.dstCls != DecodedInst::noDst)
+        regReady_[inst.dstReg] = done;
+
+    // ---- branch resolution ----
+    if (inst.has(DecodedInst::kBranch)) {
+        ++stats_.branches;
+        bool correct = inst.has(DecodedInst::kCondBr)
+                           ? bpred_.predict(inst.staticId,
+                                            inst.has(DecodedInst::kTaken))
+                           : true; // J/CALL/RET: target known (RAS)
+        if (!correct) {
+            ++stats_.mispredicts;
+            fetchRedirect_ =
+                std::max(fetchRedirect_, done + params_.mispredictPenalty);
+        }
+    }
+
+    // ---- commit (in order) ----
+    Cycle cc = std::max(done + 1, lastCommit_);
+    cc = commitGate_.pass(cc);
+
+    // Cycle attribution: the interval (lastCommit_, cc] belongs to the
+    // region of the committing instruction.
+    Cycle delta = cc > lastCommit_ ? cc - lastCommit_ : 0;
+    if (inst.region != 0)
+        stats_.vectorCycles += delta;
+    else
+        stats_.scalarCycles += delta;
+    lastCommit_ = cc;
+
+    // Free the previous mapping of the destination's logical register.
+    if (inst.dstCls != DecodedInst::noDst)
+        freeLists_[inst.dstCls].release(cc);
+
+    robRing_[robPos_] = cc;
+    if (++robPos_ == robRing_.size())
+        robPos_ = 0;
+
+    ++stats_.instructions;
+    ++stats_.instByClass[inst.clsIdx];
+}
+
+RunStats
+SimContext::finish()
+{
+    stats_.cycles = lastCommit_;
+    return stats_;
+}
+
+void
+runBatch(const std::vector<InstRecord> &trace,
+         std::span<SimContext *const> ctxs)
+{
+    for (SimContext *ctx : ctxs) {
+        vmmx_assert(ctx != nullptr, "null context in batch");
+        ctx->reset();
+    }
+    if (ctxs.empty())
+        return;
+
+    if (ctxs.size() == 1) {
+        // Single configuration: fuse decode and step so no block buffer
+        // is materialized (this is the runTrace / OoOCore::run path).
+        SimContext &ctx = *ctxs[0];
+        for (const InstRecord &inst : trace)
+            ctx.step(decodeInst(inst));
+        return;
+    }
+
+    // Batched: decode each block once, then let every context stream
+    // through the warm decoded block before the next block is touched.
+    // Context-major order inside the block keeps each context's branch
+    // and state patterns coherent for the host CPU while the decoded
+    // records are served from the L1 cache instead of being re-derived
+    // (or re-streamed from trace memory) once per configuration.
+    std::vector<DecodedInst> block(std::min(decodeBlock, trace.size()));
+    for (size_t base = 0; base < trace.size(); base += decodeBlock) {
+        size_t n = std::min(decodeBlock, trace.size() - base);
+        for (size_t i = 0; i < n; ++i)
+            block[i] = decodeInst(trace[base + i]);
+        for (SimContext *ctx : ctxs)
+            for (size_t i = 0; i < n; ++i)
+                ctx->step(block[i]);
+    }
+}
+
+} // namespace vmmx

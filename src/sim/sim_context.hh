@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Per-configuration simulation context and the batched trace-replay
+ * entry point.
+ *
+ * A SimContext owns every piece of mutable per-run state of the
+ * out-of-order timing model -- the width gates, issue queue, functional-
+ * unit pools, branch predictor, register free lists, ready tables, ROB
+ * and store rings, and the statistics of the run in flight -- bound to
+ * one CoreParams and one MemorySystem.  Pulling that state out of
+ * OoOCore is what makes batched simulation possible: N contexts can be
+ * stepped against the *same* dynamic instruction stream, so a sweep
+ * over N machine configurations decodes and streams the trace once
+ * instead of N times.
+ *
+ * The decode split: everything about an InstRecord that does not depend
+ * on the machine configuration (opcode traits, source/destination
+ * register lists, memory footprint bounds, branch kind and outcome) is
+ * resolved once into a DecodedInst and shared by every context.  Only
+ * the configuration-dependent arbitration (gate widths, queue and pool
+ * occupancy, cache state) runs per context.
+ *
+ * runBatch() processes the trace in cache-resident blocks: each block
+ * is decoded once, then every context steps through it before the next
+ * block is touched.  Contexts are mutually independent, so the result
+ * of a batched run is bit-identical to running each context over the
+ * full trace alone -- the guarantee the sweep and dist layers assert.
+ */
+
+#ifndef VMMX_SIM_SIM_CONTEXT_HH
+#define VMMX_SIM_SIM_CONTEXT_HH
+
+#include <span>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "mem/memsys.hh"
+#include "sim/bpred.hh"
+#include "sim/params.hh"
+#include "sim/resources.hh"
+#include "sim/runstats.hh"
+
+namespace vmmx
+{
+
+/**
+ * Configuration-independent decode of one InstRecord: opcode traits,
+ * packed operand lists and the memory footprint, pre-resolved so the
+ * per-context step never re-derives them.  Built once per trace block
+ * and shared read-only by every context of a batch.
+ */
+struct DecodedInst
+{
+    /** Sentinel register class index: no destination register. */
+    static constexpr u8 noDst = 0xff;
+
+    // Flag bits (kept out of per-config state: all trace-determined).
+    static constexpr u8 kLoad = 1 << 0;     ///< memory read
+    static constexpr u8 kStore = 1 << 1;    ///< memory write
+    static constexpr u8 kBranch = 1 << 2;   ///< any control transfer
+    static constexpr u8 kCondBr = 1 << 3;   ///< conditional (predicted)
+    static constexpr u8 kTaken = 1 << 4;    ///< resolved branch outcome
+    static constexpr u8 kReadsDst = 1 << 5; ///< merges into destination
+    static constexpr u8 kTakesIq = 1 << 6;  ///< occupies an IQ entry
+    static constexpr u8 kVecMem = 1 << 7;   ///< matrix (vector-port) access
+    Addr addr = 0;     ///< memory: resolved effective address
+    Addr lo = 0;       ///< memory: footprint lower bound (inclusive)
+    Addr hi = 0;       ///< memory: footprint upper bound (exclusive)
+    u32 staticId = 0;  ///< static site (branch predictor)
+    s32 stride = 0;    ///< memory: byte stride between rows
+    u16 vl = 0;        ///< raw vector length (0 = scalar / 1-D)
+    u16 rows = 1;      ///< rows processed (vl, or 1)
+    u16 rowBytes = 0;  ///< bytes per row
+    u16 region = 0;    ///< cycle-attribution region tag
+    u8 fu = 0;         ///< FuType of the executing unit
+    u8 latency = 0;    ///< post-issue execution latency
+    u8 clsIdx = 0;     ///< InstClass index (stats bucket)
+    u8 flags = 0;
+    u8 mulOcc = 1;     ///< IntMul pool occupancy
+    u8 transp = 0;     ///< occupies the lane-exchange network (VTRANSP)
+    u8 dstCls = noDst; ///< destination register class index, or noDst
+    u8 dstReg = 0;     ///< destination slot in the flat ready table
+    u8 nSrcs = 0;      ///< valid entries in srcReg
+    u8 srcReg[3] = {}; ///< source slots in the flat ready table
+
+    bool has(u8 flag) const { return flags & flag; }
+};
+
+/** Resolve the configuration-independent properties of @p inst. */
+DecodedInst decodeInst(const InstRecord &inst);
+
+/**
+ * All mutable per-run state of the timing model for one machine
+ * configuration.  step() advances it by one decoded instruction;
+ * contexts never share state, so any interleaving of steps across
+ * contexts over the same stream yields identical per-context results.
+ */
+class SimContext
+{
+  public:
+    /** @param mem the configuration's memory system; not owned. */
+    SimContext(const CoreParams &params, MemorySystem *mem);
+
+    /** Return to a cold pipeline and zeroed statistics.  Cache state in
+     *  the memory system is left untouched (reset it separately). */
+    void reset();
+
+    /** Advance by one instruction of the shared decoded stream. */
+    void step(const DecodedInst &inst);
+
+    /** Finish the run: stamp the cycle total and return the stats. */
+    RunStats finish();
+
+    const CoreParams &params() const { return params_; }
+    MemorySystem *mem() const { return mem_; }
+
+  private:
+    CoreParams params_;
+    MemorySystem *mem_;
+
+    WidthGate fetchGate_;
+    WidthGate renameGate_;
+    WidthGate commitGate_;
+    IssueQueueModel iq_;
+    SlotPool intPool_;
+    SlotPool fpPool_;
+    SlotPool simdPool_;
+    SlotPool simdIssuePool_;
+    BranchPredictor bpred_;
+
+    std::vector<RegFreeList> freeLists_;
+
+    /** Flat per-logical-register ready table: all classes side by side
+     *  at fixed offsets (64 Int | 64 Fp | 64 Simd | 8 Acc), indexed by
+     *  the slot numbers DecodedInst precomputes. */
+    static constexpr size_t readySlots = 200;
+    std::array<Cycle, readySlots> regReady_;
+
+    /** Commit-cycle ring for the ROB-occupancy constraint; robPos_
+     *  walks it without the modulo of the seq counter it replaced. */
+    std::vector<Cycle> robRing_;
+    u32 robPos_ = 0;
+    /** ceil(vl / lanesPerFu) for every legal vl, precomputed so the
+     *  SIMD occupancy needs no per-instruction division. */
+    std::array<u8, 17> lanesOcc_;
+    Cycle lastCommit_ = 0;
+    Cycle fetchRedirect_ = 0;
+
+    struct PendingStore
+    {
+        Addr lo;
+        Addr hi;
+        Cycle done;
+    };
+
+    /**
+     * The last storeWindow stores, kept in a fixed ring (the newest
+     * overwrites the oldest).  The interval and completion-time bounds
+     * over the live entries let the per-load disambiguation walk be
+     * skipped outright when no pending store can overlap or is still in
+     * flight; they are conservative (never under-approximate) and are
+     * tightened on every full walk.
+     */
+    std::vector<PendingStore> stores_;
+    size_t storeHead_ = 0;
+    Cycle storesMaxDone_ = 0;
+    Addr storesLoMin_ = ~Addr(0);
+    Addr storesHiMax_ = 0;
+
+    void pushStore(Addr lo, Addr hi, Cycle done);
+    /** @return the load's issue cycle after waiting for overlapping
+     *  older stores still in flight at @p issue. */
+    Cycle disambiguate(Addr lo, Addr hi, Cycle issue);
+    void resetStores();
+
+    RunStats stats_;
+};
+
+/**
+ * Replay @p trace once, stepping every context in @p ctxs against each
+ * record: one decode, one pass over trace memory, N configurations'
+ * worth of statistics.  Each context is reset() first; collect results
+ * with SimContext::finish().  Bit-identical to running each context
+ * over the trace alone.
+ */
+void runBatch(const std::vector<InstRecord> &trace,
+              std::span<SimContext *const> ctxs);
+
+} // namespace vmmx
+
+#endif // VMMX_SIM_SIM_CONTEXT_HH

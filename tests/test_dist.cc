@@ -152,9 +152,11 @@ TEST_F(DistTest, ExplicitTracePointsCrossTheWire)
     build(serial);
     auto expect = serial.runSerial();
 
-    // More workers than grid points: the driver must clamp.
+    // More workers than grid points: the driver must clamp.  Per-point
+    // sharding here; the batched path ships the whole group below.
     SweepOptions opts;
     opts.processes = 8;
+    opts.batch = false;
     opts.storeDir = storeDir();
     dist::DistStats stats;
     opts.distStats = &stats;
@@ -165,6 +167,66 @@ TEST_F(DistTest, ExplicitTracePointsCrossTheWire)
     for (size_t i = 0; i < expect.size(); ++i)
         EXPECT_TRUE(got[i].sameRun(expect[i])) << "point " << i;
     EXPECT_EQ(stats.workers, expect.size());
+
+    // Batched: the three points are one trace group, so one JobGroup
+    // frame (carrying the trace once per point encode) feeds a single
+    // worker, and the clamp is by units.
+    SweepOptions batched = opts;
+    batched.batch = true;
+    dist::DistStats groupStats;
+    batched.distStats = &groupStats;
+    Sweep groupSweep(batched);
+    build(groupSweep);
+    auto groupGot = groupSweep.run();
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_TRUE(groupGot[i].sameRun(expect[i])) << "point " << i;
+    EXPECT_EQ(groupStats.workers, 1u);
+    EXPECT_EQ(groupStats.groupsRun, 1u);
+    EXPECT_EQ(groupStats.jobsRun, expect.size());
+}
+
+// The PR-3 acceptance test: with batching on (the default), the driver
+// shards by trace group -- each group crosses the wire once and runs as
+// one batched pass on the worker -- and the aggregated results are still
+// bit-identical to the serial per-point sweep.
+TEST_F(DistTest, TraceGroupShardingBitIdenticalToSerial)
+{
+    auto expect = runSerial();
+    ASSERT_EQ(expect.size(), 24u);
+
+    SweepOptions opts;
+    opts.processes = 2;
+    opts.batch = true;
+    opts.storeDir = storeDir();
+    dist::DistStats stats;
+    opts.distStats = &stats;
+    Sweep sweep(opts);
+    buildGrid(sweep);
+
+    auto got = sweep.run();
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_TRUE(got[i].sameRun(expect[i]))
+            << "point " << i << " (" << expect[i].point.label() << ")";
+        EXPECT_EQ(got[i].point.label(), expect[i].point.label());
+    }
+    // 12 (kernel, flavour) traces x 2 widths: every dispatch is a whole
+    // group, every point still runs and journals individually.
+    EXPECT_EQ(stats.workers, 2u);
+    EXPECT_EQ(stats.jobsRun, 24u);
+    EXPECT_EQ(stats.groupsRun, 12u);
+
+    // And the per-point (batch off) sharding agrees bit for bit.
+    SweepOptions unbatched = opts;
+    unbatched.batch = false;
+    dist::DistStats pointStats;
+    unbatched.distStats = &pointStats;
+    Sweep pointSweep(unbatched);
+    buildGrid(pointSweep);
+    auto pointGot = pointSweep.run();
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_TRUE(pointGot[i].sameRun(expect[i])) << "point " << i;
+    EXPECT_EQ(pointStats.groupsRun, 24u);
 }
 
 TEST_F(DistTest, JournalResumeSkipsCompletedJobs)

@@ -3,10 +3,15 @@
  * Sweep-engine and trace-cache tests: a multi-threaded sweep must be
  * bit-identical to the serial loop, results must come back in submission
  * order, and repeated trace lookups must hit the cache instead of
- * regenerating.
+ * regenerating.  The batched engine adds its own contract: running N
+ * machine configurations through one trace pass (runTraceBatch, or a
+ * Sweep with batch on) must be bit-identical to N independent
+ * runTrace() calls, for any batch size and any knob overrides.
  */
 
 #include <gtest/gtest.h>
+
+#include <random>
 
 #include "common/logging.hh"
 #include "harness/sweep.hh"
@@ -125,6 +130,7 @@ TEST_F(SweepTest, SweepSharesTracesAcrossPoints)
     SweepOptions opts;
     opts.cache = &cache;
     opts.threads = 4;
+    opts.batch = false; // per-point jobs: each point looks its trace up
     Sweep sweep(opts);
     // 3 widths x 2 flavours of one kernel: 6 points, 2 distinct traces.
     sweep.addKernelGrid({"rgb"}, {SimdKind::MMX64, SimdKind::VMMX128},
@@ -137,6 +143,19 @@ TEST_F(SweepTest, SweepSharesTracesAcrossPoints)
     // Same trace => same dynamic length at every width.
     EXPECT_EQ(results[0].traceLength, results[1].traceLength);
     EXPECT_EQ(results[0].traceLength, results[2].traceLength);
+
+    // Batched: the whole group resolves its trace once, so the second
+    // sweep adds one hit per distinct trace -- and identical results.
+    SweepOptions batched = opts;
+    batched.batch = true;
+    Sweep grouped(batched);
+    grouped.addKernelGrid({"rgb"}, {SimdKind::MMX64, SimdKind::VMMX128},
+                          {2, 4, 8});
+    auto batchedResults = grouped.run();
+    EXPECT_EQ(cache.generations(), 2u);
+    EXPECT_EQ(cache.hits(), 6u);
+    for (size_t i = 0; i < results.size(); ++i)
+        EXPECT_TRUE(results[i].sameRun(batchedResults[i])) << "point " << i;
 }
 
 TEST_F(SweepTest, LabelIncludesAblationOverrides)
@@ -187,6 +206,109 @@ TEST_F(SweepTest, ResultsMatchDirectRunTrace)
     auto trace = cache.kernel("ltpfilt", SimdKind::VMMX128);
     RunResult direct = runTrace(makeMachine(SimdKind::VMMX128, 4), *trace);
     EXPECT_TRUE(results[0].result == direct);
+}
+
+/** A machine with randomized ablation knobs -- wide coverage of the
+ *  state a SimContext must keep private for batching to be exact. */
+MachineConfig
+randomMachine(std::mt19937 &rng, SimdKind kind)
+{
+    auto pick = [&](std::initializer_list<s64> choices) {
+        std::vector<s64> v(choices);
+        return v[rng() % v.size()];
+    };
+    unsigned way = unsigned(pick({2, 4, 8}));
+    Config knobs;
+    if (rng() % 2)
+        knobs.set("core.rob", pick({16, 32, 64, 128}));
+    if (rng() % 2)
+        knobs.set("core.iq", pick({8, 16, 32}));
+    if (rng() % 2)
+        knobs.set("core.lanes", pick({1, 2, 4}));
+    if (rng() % 2)
+        knobs.set("core.store_window", pick({0, 16, 64}));
+    if (rng() % 2)
+        knobs.set("core.bpred", pick({256, 4096}));
+    if (rng() % 2)
+        knobs.set("mem.l2.latency", pick({6, 12, 20}));
+    if (rng() % 2)
+        knobs.set("mem.mshrs", pick({2, 8}));
+    if (rng() % 2)
+        knobs.set("mem.l1.size", pick({16 * 1024, 32 * 1024}));
+    return makeMachine(kind, way, knobs);
+}
+
+// The batched-execution contract: one trace pass through N randomized
+// configurations is bit-identical to N independent runTrace() calls --
+// for a batch of one, a pair, and a batch wider than the sweep engine's
+// thread pool.
+TEST_F(SweepTest, RunTraceBatchMatchesPerConfigRunTrace)
+{
+    for (SimdKind kind : {SimdKind::MMX64, SimdKind::VMMX128}) {
+        auto trace = cache.kernel("idct", kind);
+        std::mt19937 rng(0xbeef);
+        for (size_t batchSize : {size_t(1), size_t(2), size_t(9)}) {
+            std::vector<MachineConfig> machines;
+            machines.reserve(batchSize);
+            for (size_t i = 0; i < batchSize; ++i)
+                machines.push_back(randomMachine(rng, kind));
+
+            auto batched = runTraceBatch(machines, *trace);
+            ASSERT_EQ(batched.size(), batchSize);
+            for (size_t i = 0; i < batchSize; ++i) {
+                RunResult alone = runTrace(machines[i], *trace);
+                EXPECT_TRUE(batched[i] == alone)
+                    << name(kind) << " batch of " << batchSize
+                    << ", config " << i;
+            }
+        }
+    }
+}
+
+// A batched sweep over a grid with trace groups wider than the thread
+// pool must stay bit-identical to the per-point serial reference.
+TEST_F(SweepTest, BatchedSweepBitIdenticalToSerial)
+{
+    SweepOptions serialOpts;
+    serialOpts.cache = &cache;
+    serialOpts.threads = 1;
+    SweepOptions batchedOpts;
+    batchedOpts.cache = &cache;
+    batchedOpts.threads = 4;
+    batchedOpts.batch = true;
+
+    auto build = [](Sweep &s) {
+        // One trace replayed on 6 knob variants: a group wider than the
+        // 4-thread pool; plus ordinary (flavour x width) groups.
+        for (s64 rob : {16, 24, 32, 48, 64, 128}) {
+            Config knobs;
+            knobs.set("core.rob", rob);
+            s.addKernel("h2v2", SimdKind::VMMX64, 4, knobs);
+        }
+        s.addKernelGrid({"motion1"}, {SimdKind::MMX64, SimdKind::MMX128},
+                        {2, 4, 8});
+    };
+
+    Sweep serial(serialOpts);
+    Sweep batched(batchedOpts);
+    build(serial);
+    build(batched);
+
+    auto expect = serial.runSerial();
+    auto got = batched.run();
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_TRUE(got[i].sameRun(expect[i]))
+            << "point " << i << " (" << expect[i].point.label() << ")";
+        EXPECT_EQ(got[i].point.label(), expect[i].point.label());
+    }
+
+    // The grouping itself: 6 knob variants of one trace form one group.
+    auto groups = groupPointsByTrace(batched.points());
+    ASSERT_EQ(groups.size(), 3u);
+    EXPECT_EQ(groups[0].size(), 6u);
+    EXPECT_EQ(groups[1].size(), 3u);
+    EXPECT_EQ(groups[2].size(), 3u);
 }
 
 } // namespace

@@ -73,6 +73,8 @@ usage(int rc)
         "                     (default $VMMX_TRACE_STORE or system tmp)\n"
         "  --journal FILE     crash-resume journal; rerun with the same\n"
         "                     file to resume an interrupted sweep\n"
+        "  --no-batch         one point per dispatch instead of batched\n"
+        "                     trace groups (or set VMMX_SWEEP_BATCH=0)\n"
         "  --check            verify against the serial in-process sweep\n"
         "  --verbose          keep worker warn()/inform() output\n"
         "  --help             this text\n";
@@ -126,6 +128,8 @@ main(int argc, char **argv)
             dopts.storeDir = value(i);
         else if (arg == "--journal")
             dopts.journalPath = value(i);
+        else if (arg == "--no-batch")
+            dopts.batch = false;
         else if (arg == "--check")
             check = true;
         else if (arg == "--verbose")
@@ -150,7 +154,9 @@ main(int argc, char **argv)
     setQuiet(dopts.quiet);
 
     std::cout << "vmmx_sweepd: " << grid.size() << " grid points over "
-              << dopts.processes << " worker processes\n";
+              << dopts.processes << " worker processes ("
+              << (dopts.batch ? "batched trace groups" : "per-point jobs")
+              << ")\n";
     dist::DistStats stats;
     auto results = dist::runSweep(grid.points(), dopts, &stats);
 
