@@ -4,7 +4,7 @@
  * SIMD flavours, normalised to the 2-way MMX64 run of the same app.
  *
  * The whole (app x flavour x width) grid is submitted as one parallel
- * sweep: each app trace is generated once (trace cache) and the 12
+ * sweep: each app trace is generated once (trace repository) and the 12
  * machine runs per app proceed concurrently.
  */
 

@@ -4,12 +4,16 @@
  * kernel or app trace for a flavour and time it on a Table III/IV
  * machine.
  *
- * Traces are resolved through the process-wide vmmx::TraceCache, so a
- * bench that touches the same (workload, flavour) many times -- every
- * multi-way sweep does -- generates each trace exactly once.  All
- * helpers here are safe to call from sweep worker threads: the cache is
- * internally locked, machine construction is pure, and setQuiet() is
- * atomic.
+ * Traces are resolved through the process-wide vmmx::TraceRepository,
+ * so a bench that touches the same (workload, flavour) many times --
+ * every multi-way sweep does -- generates each trace exactly once.  The
+ * helpers hand out references, so the first handle seen for a key is
+ * kept alive here for the process lifetime; its RAII pin makes the
+ * repository's eviction skip the entry even under a tiny
+ * VMMX_TRACE_CACHE_BUDGET, so the references stay stable with no
+ * re-materialization churn.  All helpers are safe to call from sweep
+ * worker threads: the repository is internally locked, machine
+ * construction is pure, and setQuiet() is atomic.
  */
 
 #ifndef VMMX_BENCH_BENCH_UTIL_HH
@@ -24,7 +28,7 @@
 #include "common/table.hh"
 #include "harness/sweep.hh"
 #include "kernels/kernel.hh"
-#include "trace/trace_cache.hh"
+#include "trace/trace_repo.hh"
 
 namespace vmmx::bench
 {
@@ -36,19 +40,13 @@ struct TimedRun
     std::array<u64, numInstClasses> instByClass{};
 };
 
-/**
- * Trace-by-reference lookup with a process-lifetime pin.  The helpers
- * below hand out references; with a VMMX_TRACE_CACHE_BUDGET set the
- * process-wide cache may drop RAM copies of disk-backed traces (and a
- * reload builds a *new* vector), so the first trace seen for a key is
- * pinned here and every later call returns that same pinned object --
- * stable references, no per-call growth.
- */
+/** Trace-by-reference lookup, pinned for the process lifetime. */
 inline const std::vector<InstRecord> &
 pinnedTrace(bool isApp, const std::string &name, SimdKind kind)
 {
     static std::mutex mu;
-    static std::map<std::tuple<bool, std::string, SimdKind>, SharedTrace>
+    static std::map<std::tuple<bool, std::string, SimdKind>,
+                    TraceRepository::TraceHandle>
         pinned;
     {
         std::lock_guard<std::mutex> lock(mu);
@@ -56,22 +54,25 @@ pinnedTrace(bool isApp, const std::string &name, SimdKind kind)
         if (it != pinned.end())
             return *it->second;
     }
-    SharedTrace t = isApp ? TraceCache::instance().app(name, kind)
-                          : TraceCache::instance().kernel(name, kind);
+    // Resolve outside the map lock so distinct traces generate in
+    // parallel; a lost race just drops the duplicate handle.
+    TraceRepository::TraceHandle h =
+        isApp ? TraceRepository::instance().app(name, kind)
+              : TraceRepository::instance().kernel(name, kind);
     std::lock_guard<std::mutex> lock(mu);
-    auto [it, inserted] = pinned.try_emplace({isApp, name, kind},
-                                             std::move(t));
+    auto [it, inserted] =
+        pinned.try_emplace({isApp, name, kind}, std::move(h));
     return *it->second;
 }
 
-/** Kernel trace for (name, kind), memoized in the process-wide cache. */
+/** Kernel trace for (name, kind), pinned in the process repository. */
 inline const std::vector<InstRecord> &
 kernelTrace(const std::string &kernel, SimdKind kind)
 {
     return pinnedTrace(false, kernel, kind);
 }
 
-/** App trace for (name, kind), memoized in the process-wide cache. */
+/** App trace for (name, kind), pinned in the process repository. */
 inline const std::vector<InstRecord> &
 appTrace(const std::string &app, SimdKind kind)
 {

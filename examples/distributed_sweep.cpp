@@ -52,8 +52,8 @@ main()
     // Reference: the serial in-process sweep.
     SweepOptions serialOpts;
     serialOpts.threads = 1;
-    TraceCache privateCache;
-    serialOpts.cache = &privateCache;
+    TraceRepository privateRepo;
+    serialOpts.repo = &privateRepo;
     Sweep serial(serialOpts);
     build(serial);
     auto expect = serial.runSerial();

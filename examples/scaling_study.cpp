@@ -9,7 +9,7 @@
  * engine: the points are grouped by trace -- one group of three widths
  * per flavour -- and each group is dispatched as a single
  * runTraceBatch() pass, so every flavour's mpeg2enc trace is generated
- * once in the shared trace cache and then decoded and streamed once
+ * once in the shared trace repository and then decoded once process-wide
  * while all three machine widths step against it.  (Set
  * VMMX_SWEEP_BATCH=0 to fall back to one job per point; the results
  * are bit-identical either way.)
@@ -33,12 +33,13 @@ main()
     Sweep sweep;
     for (auto kind : allSimdKinds) {
         // Keep this example's historical input seed (5, not the bench
-        // default) by resolving the trace explicitly; the cache still
-        // memoizes it across the three widths.
-        auto trace = TraceCache::instance().app(
-            "mpeg2enc", kind, TraceCache::appImageBytes, 5);
+        // default) by resolving the trace explicitly; the repository
+        // still memoizes it across the three widths, and the decoded
+        // tier shares one decode across them.
+        auto trace = TraceRepository::instance().app(
+            "mpeg2enc", kind, TraceRepository::appImageBytes, 5);
         for (unsigned way : ways)
-            sweep.addTrace(trace, kind, way, "mpeg2enc");
+            sweep.addTrace(trace.shared(), kind, way, "mpeg2enc");
     }
     auto results = sweep.run();
 
@@ -62,10 +63,12 @@ main()
 
     // The batched API directly: replay one trace against a whole span
     // of machine configurations in a single pass -- here an ROB
-    // sensitivity study on the 8-way matrix machine.  One decode, one
-    // walk of the trace, four configurations' worth of statistics.
-    auto trace = TraceCache::instance().app(
-        "mpeg2enc", SimdKind::VMMX128, TraceCache::appImageBytes, 5);
+    // sensitivity study on the 8-way matrix machine.  The decoded
+    // handle comes straight from the repository's tier 2, so this pass
+    // does not even decode: the sweep above already paid that once.
+    auto trace = TraceRepository::instance().app(
+        "mpeg2enc", SimdKind::VMMX128, TraceRepository::appImageBytes, 5);
+    auto stream = TraceRepository::instance().decoded(trace.shared());
     std::vector<MachineConfig> machines;
     const std::vector<s64> robSizes = {16, 32, 64, 128};
     for (s64 rob : robSizes) {
@@ -73,7 +76,7 @@ main()
         knobs.set("core.rob", rob);
         machines.push_back(makeMachine(SimdKind::VMMX128, 8, knobs));
     }
-    auto runs = runTraceBatch(machines, *trace);
+    auto runs = runTraceBatch(machines, stream.stream());
 
     std::cout << "\nROB sensitivity (8-way vmmx128, one batched pass):\n";
     for (size_t i = 0; i < runs.size(); ++i) {

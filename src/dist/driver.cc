@@ -273,10 +273,12 @@ DistStats::summary() const
     os << "dist: " << workers << " workers, " << jobsRun << " jobs run in "
        << groupsRun << " units, " << jobsResumed << " resumed from journal, "
        << steals << " stolen; "
-       << "worker caches: " << generations << " generations, " << hits
-       << " hits, " << diskLoads << " disk loads, " << storeSaves
-       << " store saves, " << bytesResident / (1024.0 * 1024.0)
-       << " MiB resident at exit";
+       << "worker repositories: " << generations << " generations, " << hits
+       << " raw hits, " << diskLoads << " disk loads, " << storeSaves
+       << " store saves, " << decodes << " decodes, " << decodedHits
+       << " decoded hits, " << bytesResident / (1024.0 * 1024.0)
+       << " MiB raw + " << decodedBytes / (1024.0 * 1024.0)
+       << " MiB decoded resident at exit";
     return os.str();
 }
 
@@ -375,10 +377,13 @@ runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
     const unsigned n = unsigned(
         std::min<size_t>(opts.processes, units.size()));
     st.workers = n;
+    st.perWorker.resize(n);
     SetupMsg setup;
     setup.storeDir =
         opts.storeDir.empty() ? TraceStore::defaultDir() : opts.storeDir;
     setup.cacheBudget = opts.cacheBudget;
+    setup.decodedBudget = opts.decodedBudget;
+    setup.decoded = opts.decoded;
     setup.quiet = opts.quiet;
 
     std::vector<WorkerProc> workers;
@@ -489,6 +494,14 @@ runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
                 st.diskLoads += m.diskLoads;
                 st.storeSaves += m.storeSaves;
                 st.bytesResident += m.bytesResident;
+                st.decodes += m.decodes;
+                st.decodedHits += m.decodedHits;
+                st.decodedBytes += m.decodedBytes;
+                size_t slot = size_t(w - workers.data());
+                st.perWorker[slot] = {m.generations,  m.hits,
+                                      m.diskLoads,    m.decodes,
+                                      m.decodedHits,  m.bytesResident,
+                                      m.decodedBytes};
                 w->statsSeen = true;
                 break;
               }

@@ -35,20 +35,38 @@
 
 #include "common/logging.hh"
 #include "harness/sweep.hh"
-#include "trace/trace_cache.hh"
+#include "trace/trace_repo.hh"
 
 namespace vmmx::dist
 {
 
+/** One worker's end-of-session trace-repository tier counters. */
+struct WorkerTierStats
+{
+    u64 generations = 0;   ///< traces built from scratch
+    u64 hits = 0;          ///< raw-tier RAM hits
+    u64 diskLoads = 0;     ///< tier-1 fills from the disk tier
+    u64 decodes = 0;       ///< decoded-tier fills
+    u64 decodedHits = 0;   ///< decoded-tier RAM hits
+    u64 bytesResident = 0; ///< raw bytes resident at exit
+    u64 decodedBytes = 0;  ///< decoded bytes resident at exit
+};
+
 /** Aggregate execution statistics of one distributed run. */
 struct DistStats
 {
-    // Summed over all workers' private trace caches.
+    // Summed over all workers' private trace repositories.
     u64 generations = 0; ///< traces actually generated this run
-    u64 hits = 0;        ///< lookups served from worker RAM
+    u64 hits = 0;        ///< raw-tier lookups served from worker RAM
     u64 diskLoads = 0;   ///< lookups served from the on-disk TraceStore
     u64 storeSaves = 0;  ///< traces newly persisted to the store
-    u64 bytesResident = 0; ///< trace bytes held across workers at exit
+    u64 bytesResident = 0; ///< raw trace bytes held across workers at exit
+    u64 decodes = 0;     ///< decoded streams built across workers
+    u64 decodedHits = 0; ///< decoded-tier lookups served from worker RAM
+    u64 decodedBytes = 0; ///< decoded bytes held across workers at exit
+    /** The same counters per worker, in worker-spawn order (the
+     *  per-worker tier report of vmmx_sweepd). */
+    std::vector<WorkerTierStats> perWorker;
     // Driver-side scheduling counters.  Jobs count grid points (the
     // journal/aggregation unit); groups count the batched trace groups
     // those points were dispatched in.
@@ -67,15 +85,20 @@ struct DistOptions
     unsigned processes = 2;
     /** Trace store directory; "" uses TraceStore::defaultDir(). */
     std::string storeDir;
-    /** Per-worker trace-cache RAM budget; 0 = unlimited. */
-    u64 cacheBudget = TraceCache::budgetFromEnv();
+    /** Per-worker raw-tier (tier 1) RAM budget; 0 = unlimited. */
+    u64 cacheBudget = TraceRepository::rawBudgetFromEnv();
+    /** Per-worker decoded-tier (tier 2) RAM budget; 0 = unlimited. */
+    u64 decodedBudget = TraceRepository::decodedBudgetFromEnv();
     /** Crash-resume journal file; "" disables journaling. */
     std::string journalPath;
     /** Shard by trace group and batch each group on the worker (one
-     *  decode and one trace pass per group); off = one point per unit,
-     *  the pre-batching behaviour.  Results are bit-identical either
-     *  way, and the journal format does not change. */
+     *  trace pass per group); off = one point per unit, the
+     *  pre-batching behaviour.  Results are bit-identical either way,
+     *  and the journal format does not change. */
     bool batch = sweepBatchFromEnv();
+    /** Workers serve jobs from their repository's decoded tier; off =
+     *  decode on the fly per dispatch.  Bit-identical either way. */
+    bool decoded = sweepDecodedFromEnv();
     /** Suppress worker warn()/inform() output. */
     bool quiet = vmmx::quiet();
     /** Binary to self-exec as the worker ("" forks without exec).  The

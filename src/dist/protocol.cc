@@ -38,6 +38,8 @@ encode(const SetupMsg &m)
     w.fixed32(m.version);
     w.str(m.storeDir);
     w.varint(m.cacheBudget);
+    w.varint(m.decodedBudget);
+    w.boolean(m.decoded);
     w.boolean(m.quiet);
     return w.take();
 }
@@ -51,6 +53,8 @@ decode(const std::vector<u8> &frame, SetupMsg &m)
     m.version = r.fixed32();
     m.storeDir = r.str();
     m.cacheBudget = r.varint();
+    m.decodedBudget = r.varint();
+    m.decoded = r.boolean();
     m.quiet = r.boolean();
     return r.ok() && r.atEnd() && m.version == protocolVersion;
 }
@@ -145,6 +149,9 @@ encode(const StatsMsg &m)
     w.varint(m.diskLoads);
     w.varint(m.storeSaves);
     w.varint(m.bytesResident);
+    w.varint(m.decodes);
+    w.varint(m.decodedHits);
+    w.varint(m.decodedBytes);
     return w.take();
 }
 
@@ -159,6 +166,9 @@ decode(const std::vector<u8> &frame, StatsMsg &m)
     m.diskLoads = r.varint();
     m.storeSaves = r.varint();
     m.bytesResident = r.varint();
+    m.decodes = r.varint();
+    m.decodedHits = r.varint();
+    m.decodedBytes = r.varint();
     return r.ok() && r.atEnd();
 }
 

@@ -28,8 +28,11 @@
 namespace vmmx::dist
 {
 
-/** v2: JobGroup frames (batched multi-config execution of one trace). */
-constexpr u32 protocolVersion = 2;
+/** v3: tiered TraceRepository on the worker -- Setup carries the
+ *  decoded-tier budget and switch, Stats reports per-tier counters.
+ *  (v2 added JobGroup frames; Job/JobGroup/Result/Error and the journal
+ *  format are unchanged since.) */
+constexpr u32 protocolVersion = 3;
 
 enum class Msg : u8
 {
@@ -45,8 +48,10 @@ enum class Msg : u8
 struct SetupMsg
 {
     u32 version = protocolVersion;
-    std::string storeDir; ///< trace store directory ("" = no store)
-    u64 cacheBudget = 0;  ///< worker trace-cache RAM budget (0 = unlimited)
+    std::string storeDir;   ///< trace store directory ("" = no store)
+    u64 cacheBudget = 0;    ///< worker raw-tier RAM budget (0 = unlimited)
+    u64 decodedBudget = 0;  ///< worker decoded-tier budget (0 = unlimited)
+    bool decoded = true;    ///< serve jobs from the decoded tier
     bool quiet = true;
 };
 
@@ -76,11 +81,14 @@ struct ResultMsg
 
 struct StatsMsg
 {
-    u64 generations = 0;
-    u64 hits = 0;
-    u64 diskLoads = 0;
-    u64 storeSaves = 0;
-    u64 bytesResident = 0;
+    u64 generations = 0;   ///< traces built from scratch (tier-1 fills)
+    u64 hits = 0;          ///< raw-tier lookups served from RAM
+    u64 diskLoads = 0;     ///< tier-1 fills served by the disk tier
+    u64 storeSaves = 0;    ///< traces newly persisted to the store
+    u64 bytesResident = 0; ///< raw-tier bytes resident at exit
+    u64 decodes = 0;       ///< decoded-tier fills (full-trace decodes)
+    u64 decodedHits = 0;   ///< decoded-tier lookups served from RAM
+    u64 decodedBytes = 0;  ///< decoded-tier bytes resident at exit
 };
 
 std::vector<u8> encode(const SetupMsg &m);

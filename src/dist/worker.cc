@@ -8,33 +8,10 @@
 #include "common/logging.hh"
 #include "dist/protocol.hh"
 #include "harness/runner.hh"
-#include "trace/trace_cache.hh"
+#include "trace/trace_repo.hh"
 
 namespace vmmx::dist
 {
-
-namespace
-{
-
-SharedTrace
-resolveJobTrace(TraceCache &cache, const SweepPoint &point)
-{
-    switch (point.workload) {
-      case SweepPoint::Workload::Kernel:
-        return cache.get({false, point.name, point.kind,
-                          TraceCache::kernelImageBytes,
-                          TraceCache::defaultSeed});
-      case SweepPoint::Workload::App:
-        return cache.get({true, point.name, point.kind,
-                          TraceCache::appImageBytes,
-                          TraceCache::defaultSeed});
-      case SweepPoint::Workload::Trace:
-        return point.trace; // shipped inside the Job frame
-    }
-    panic("unknown sweep workload");
-}
-
-} // namespace
 
 int
 workerServe(int fd)
@@ -52,24 +29,29 @@ workerServe(int fd)
     }
     setQuiet(setup.quiet);
 
-    // A private cache (not instance()): its statistics then describe
-    // exactly this worker's jobs, and forked workers behave identically
-    // to self-exec'd ones instead of inheriting parent-warmed traces.
+    // A private repository (not instance()): its statistics then
+    // describe exactly this worker's jobs, and forked workers behave
+    // identically to self-exec'd ones instead of inheriting
+    // parent-warmed traces.
     std::unique_ptr<TraceStore> store;
     if (!setup.storeDir.empty())
         store = std::make_unique<TraceStore>(setup.storeDir);
-    TraceCache cache(store.get(), setup.cacheBudget);
+    TraceRepository repo(store.get(), setup.cacheBudget,
+                         setup.decodedBudget);
 
     int rc = 1;
     while (wire::readFrame(fd, frame)) {
         Msg type = frameType(frame);
         if (type == Msg::Done) {
             StatsMsg stats;
-            stats.generations = cache.generations();
-            stats.hits = cache.hits();
-            stats.diskLoads = cache.diskLoads();
+            stats.generations = repo.generations();
+            stats.hits = repo.rawStats().hits;
+            stats.diskLoads = repo.diskLoads();
             stats.storeSaves = store ? store->saves() : 0;
-            stats.bytesResident = cache.bytesResident();
+            stats.bytesResident = repo.rawStats().bytes;
+            stats.decodes = repo.decodes();
+            stats.decodedHits = repo.decodedStats().hits;
+            stats.decodedBytes = repo.decodedStats().bytes;
             wire::writeFrame(fd, encode(stats));
             rc = 0;
             break;
@@ -93,9 +75,14 @@ workerServe(int fd)
         }
 
         // All points of a group replay the same trace by construction;
-        // resolve it once through the worker's cache.
-        SharedTrace trace = resolveJobTrace(cache, group.points[0]);
-        if (!trace) {
+        // resolve it once through the worker's repository.  Explicit
+        // traces travel inside the frame -- each frame decodes to a
+        // fresh object, so the repository's identity-keyed decoded tier
+        // could never hit across frames; those run through the raw
+        // overload, whose blockwise decode needs only bounded scratch.
+        const SweepPoint &lead = group.points[0];
+        bool explicitTrace = lead.workload == SweepPoint::Workload::Trace;
+        if (explicitTrace && !lead.trace) {
             wire::writeFrame(
                 fd, encodeError("job " + std::to_string(group.indices[0]) +
                                 " carries no trace"));
@@ -105,13 +92,27 @@ workerServe(int fd)
         machines.reserve(group.points.size());
         for (const SweepPoint &p : group.points)
             machines.push_back(makeMachine(p.kind, p.way, p.overrides));
-        std::vector<RunResult> runs = runTraceBatch(machines, *trace);
+
+        std::vector<RunResult> runs;
+        u64 traceLength = 0;
+        if (setup.decoded && !explicitTrace) {
+            TraceRepository::DecodedHandle stream =
+                repo.decoded(traceKeyFor(lead));
+            traceLength = stream.records();
+            runs = runTraceBatch(machines, stream.stream());
+        } else {
+            TraceRepository::TraceHandle trace =
+                explicitTrace ? TraceRepository::TraceHandle(lead.trace)
+                              : repo.raw(traceKeyFor(lead));
+            traceLength = trace->size();
+            runs = runTraceBatch(machines, *trace);
+        }
 
         bool sent = true;
         for (size_t k = 0; k < runs.size() && sent; ++k) {
             ResultMsg res;
             res.index = group.indices[k];
-            res.traceLength = trace->size();
+            res.traceLength = traceLength;
             res.result = runs[k];
             sent = wire::writeFrame(fd, encode(res));
         }

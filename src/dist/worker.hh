@@ -5,9 +5,11 @@
  *
  * Workers are either forked children of the driver (library backend) or
  * self-exec'd processes (`vmmx_sweepd --worker --fd N`); both run the
- * same serve loop.  Each worker owns a private TraceCache so its
- * generation/hit/disk-load statistics describe exactly the jobs it ran,
- * with the shared on-disk TraceStore as the cross-process tier.
+ * same serve loop.  Each worker owns a private tiered TraceRepository
+ * so its per-tier statistics describe exactly the jobs it ran, with the
+ * shared on-disk TraceStore as the cross-process tier 0 and the decoded
+ * tier amortizing the per-record decode across all of the worker's
+ * groups on the same trace.
  */
 
 #ifndef VMMX_DIST_WORKER_HH

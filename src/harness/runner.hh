@@ -3,6 +3,13 @@
  * Experiment runner: replays a trace on one machine configuration -- or
  * on a whole batch of configurations in a single pass over the trace --
  * and returns the combined core + memory statistics per configuration.
+ *
+ * Both entry points come in two shapes: the raw-trace overloads decode
+ * on the fly (block-wise), while the DecodedStream overloads replay an
+ * already-decoded stream -- typically a TraceRepository tier-2 handle,
+ * so the decode is paid once per process instead of once per call.
+ * The per-record step order is identical, so the two shapes produce
+ * bit-identical results.
  */
 
 #ifndef VMMX_HARNESS_RUNNER_HH
@@ -43,9 +50,17 @@ struct RunResult
 std::vector<RunResult> runTraceBatch(std::span<const MachineConfig> machines,
                                      const std::vector<InstRecord> &trace);
 
+/** Batched replay of a pre-decoded stream: no decode at all, results
+ *  bit-identical to the raw-trace overload on the source trace. */
+std::vector<RunResult> runTraceBatch(std::span<const MachineConfig> machines,
+                                     const DecodedStream &stream);
+
 /** Run @p trace on @p machine from cold caches (the batch-of-one case). */
 RunResult runTrace(const MachineConfig &machine,
                    const std::vector<InstRecord> &trace);
+
+/** Batch-of-one replay of a pre-decoded stream. */
+RunResult runTrace(const MachineConfig &machine, const DecodedStream &stream);
 
 } // namespace vmmx
 

@@ -13,14 +13,31 @@
 namespace vmmx
 {
 
-bool
-sweepBatchFromEnv()
+namespace
 {
-    const char *env = std::getenv("VMMX_SWEEP_BATCH");
+
+bool
+envFlagDefaultOn(const char *var)
+{
+    const char *env = std::getenv(var);
     if (!env)
         return true;
     return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
              std::strcmp(env, "false") == 0);
+}
+
+} // namespace
+
+bool
+sweepBatchFromEnv()
+{
+    return envFlagDefaultOn("VMMX_SWEEP_BATCH");
+}
+
+bool
+sweepDecodedFromEnv()
+{
+    return envFlagDefaultOn("VMMX_SWEEP_DECODED");
 }
 
 std::string
@@ -33,13 +50,31 @@ SweepPoint::label() const
     return s;
 }
 
+TraceKey
+traceKeyFor(const SweepPoint &point)
+{
+    switch (point.workload) {
+      case SweepPoint::Workload::Kernel:
+        return {false, point.name, point.kind,
+                TraceRepository::kernelImageBytes,
+                TraceRepository::defaultSeed};
+      case SweepPoint::Workload::App:
+        return {true, point.name, point.kind,
+                TraceRepository::appImageBytes, TraceRepository::defaultSeed};
+      case SweepPoint::Workload::Trace:
+        break;
+    }
+    panic("explicit-trace points have no repository key");
+}
+
 std::vector<std::vector<u32>>
 groupPointsByTrace(const std::vector<SweepPoint> &points,
                    const std::vector<u32> &subset)
 {
-    // Kernel/app points resolve through the cache by (workload, name,
-    // kind) -- image size and seed are the cache defaults -- while
-    // explicit-trace points are identified by the trace object itself.
+    // Kernel/app points resolve through the repository by (workload,
+    // name, kind) -- image size and seed are the repository defaults --
+    // while explicit-trace points are identified by the trace object
+    // itself.
     using Key = std::tuple<u8, std::string, u8, const void *>;
     std::map<Key, size_t> index;
     std::vector<std::vector<u32>> groups;
@@ -132,31 +167,55 @@ Sweep::addAppGrid(const std::vector<std::string> &names,
     return *this;
 }
 
-SharedTrace
-Sweep::resolve(const SweepPoint &point) const
+TraceRepository &
+Sweep::repo() const
 {
-    TraceCache &cache = opts_.cache ? *opts_.cache : TraceCache::instance();
-    switch (point.workload) {
-      case SweepPoint::Workload::Kernel:
-        return cache.kernel(point.name, point.kind);
-      case SweepPoint::Workload::App:
-        return cache.app(point.name, point.kind);
-      case SweepPoint::Workload::Trace:
-        return point.trace;
+    return opts_.repo ? *opts_.repo : TraceRepository::instance();
+}
+
+TraceRepository::TraceHandle
+Sweep::resolveRaw(const SweepPoint &point) const
+{
+    if (point.workload == SweepPoint::Workload::Trace)
+        return TraceRepository::TraceHandle(point.trace);
+    return repo().raw(traceKeyFor(point));
+}
+
+TraceRepository::DecodedHandle
+Sweep::resolveDecoded(const SweepPoint &point) const
+{
+    if (point.workload == SweepPoint::Workload::Trace)
+        return repo().decoded(point.trace);
+    return repo().decoded(traceKeyFor(point));
+}
+
+std::vector<RunResult>
+Sweep::resolveAndRun(const SweepPoint &lead,
+                     std::span<const MachineConfig> machines,
+                     bool useDecoded, u64 &traceLength) const
+{
+    // The one place that picks a trace tier and replays it: resolve
+    // lead's trace once (decoded tier-2 stream, or raw with on-the-fly
+    // decode) and step every machine through it.
+    if (useDecoded) {
+        TraceRepository::DecodedHandle stream = resolveDecoded(lead);
+        traceLength = stream.records();
+        return runTraceBatch(machines, stream.stream());
     }
-    panic("unknown sweep workload");
+    TraceRepository::TraceHandle trace = resolveRaw(lead);
+    traceLength = trace->size();
+    return runTraceBatch(machines, *trace);
 }
 
 SweepResult
-Sweep::runPoint(const SweepPoint &point) const
+Sweep::runPoint(const SweepPoint &point, bool useDecoded) const
 {
-    SharedTrace trace = resolve(point);
     MachineConfig machine = makeMachine(point.kind, point.way,
                                         point.overrides);
     SweepResult r;
     r.point = point;
-    r.traceLength = trace->size();
-    r.result = runTrace(machine, *trace);
+    r.result = resolveAndRun(point, {&machine, 1}, useDecoded,
+                             r.traceLength)[0];
     return r;
 }
 
@@ -164,18 +223,21 @@ void
 Sweep::runGroup(const std::vector<u32> &group,
                 std::vector<SweepResult> &results) const
 {
-    // One trace resolution and one trace pass for the whole group.
-    SharedTrace trace = resolve(points_[group[0]]);
+    // One trace resolution and one trace pass for the whole group; with
+    // the decoded tier on, even the decode happened at most once per
+    // process, not once per group.
     std::vector<MachineConfig> machines;
     machines.reserve(group.size());
     for (u32 i : group)
         machines.push_back(makeMachine(points_[i].kind, points_[i].way,
                                        points_[i].overrides));
-    std::vector<RunResult> runs = runTraceBatch(machines, *trace);
+    u64 traceLength = 0;
+    std::vector<RunResult> runs = resolveAndRun(
+        points_[group[0]], machines, opts_.decoded, traceLength);
     for (size_t k = 0; k < group.size(); ++k) {
         SweepResult &r = results[group[k]];
         r.point = points_[group[k]];
-        r.traceLength = trace->size();
+        r.traceLength = traceLength;
         r.result = runs[k];
     }
 }
@@ -183,10 +245,13 @@ Sweep::runGroup(const std::vector<u32> &group,
 std::vector<SweepResult>
 Sweep::runSerial() const
 {
+    // The determinism baseline: per-point jobs that decode on the fly,
+    // bypassing the decoded tier entirely (but still resolving raw
+    // traces through the repository).
     std::vector<SweepResult> results;
     results.reserve(points_.size());
-    for (const auto &p : points_)
-        results.push_back(runPoint(p));
+    for (const auto &point : points_)
+        results.push_back(runPoint(point, /*useDecoded=*/false));
     return results;
 }
 
@@ -199,6 +264,7 @@ Sweep::run() const
         dopts.storeDir = opts_.storeDir;
         dopts.journalPath = opts_.journalPath;
         dopts.batch = opts_.batch;
+        dopts.decoded = opts_.decoded;
         return dist::runSweep(points_, dopts, opts_.distStats);
     }
 
@@ -219,18 +285,20 @@ Sweep::run() const
     threads = std::min<unsigned>(threads, unsigned(units.size()));
 
     if (threads <= 1) {
-        if (!opts_.batch)
-            return runSerial();
         std::vector<SweepResult> results(points_.size());
-        for (const auto &unit : units)
-            runGroup(unit, results);
+        for (const auto &unit : units) {
+            if (opts_.batch)
+                runGroup(unit, results);
+            else
+                results[unit[0]] = runPoint(points_[unit[0]], opts_.decoded);
+        }
         return results;
     }
 
     // Jobs are independent (per-configuration MemorySystem/SimContext,
-    // immutable shared traces); workers pull the next undone unit and
-    // write into its submission-order slots, so the result vector is
-    // deterministic.
+    // immutable shared trace artifacts); workers pull the next undone
+    // unit and write into its submission-order slots, so the result
+    // vector is deterministic.
     std::vector<SweepResult> results(points_.size());
     std::atomic<size_t> next{0};
     auto worker = [&]() {
@@ -239,7 +307,7 @@ Sweep::run() const
             if (opts_.batch)
                 runGroup(units[u], results);
             else
-                results[units[u][0]] = runPoint(points_[units[u][0]]);
+                results[units[u][0]] = runPoint(points_[units[u][0]], opts_.decoded);
         }
     };
 

@@ -4,20 +4,25 @@
  *
  * Every figure in the paper is a sweep: the same few traces replayed on a
  * grid of machine configurations.  A Sweep collects the grid points,
- * resolves each point's trace through the shared TraceCache (so a trace
+ * resolves each point's trace through the shared TraceRepository (so a trace
  * is generated once per process, not once per point), and fans the
  * independent jobs across a thread pool.
  *
  * By default the engine runs *batched*: grid points are grouped by the
  * trace they replay, and each group executes as one runTraceBatch() call
  * that streams the trace once while stepping every configuration of the
- * group against each record -- one decode, one pass over trace memory, N
- * configurations' worth of statistics.  SweepOptions::batch (env
- * VMMX_SWEEP_BATCH=0 to disable) falls back to one runTrace() job per
- * point.  Either way, MemorySystem and SimContext state is private per
- * configuration and the cached traces are immutable, so results are
- * bit-identical to the serial per-point loop and are returned in
- * submission order regardless of the execution interleaving.
+ * group against each record.  On top of that, jobs resolve their trace
+ * as a *decoded* tier-2 stream from the TraceRepository, so the
+ * per-record decode is paid once per process -- every group (and every
+ * thread) replaying the same trace shares one DecodedStream.
+ * SweepOptions::batch (env VMMX_SWEEP_BATCH=0 to disable) falls back to
+ * one runTrace() job per point; SweepOptions::decoded (env
+ * VMMX_SWEEP_DECODED=0 to disable) falls back to decoding on the fly
+ * inside each job.  Either way, MemorySystem and SimContext state is
+ * private per configuration and the shared trace artifacts (raw and
+ * decoded) are immutable, so results are bit-identical to the serial
+ * per-point loop and are returned in submission order regardless of the
+ * execution interleaving.
  */
 
 #ifndef VMMX_HARNESS_SWEEP_HH
@@ -29,7 +34,7 @@
 #include "common/config.hh"
 #include "harness/machine.hh"
 #include "harness/runner.hh"
-#include "trace/trace_cache.hh"
+#include "trace/trace_repo.hh"
 
 namespace vmmx
 {
@@ -60,6 +65,11 @@ struct SweepPoint
     std::string label() const;
 };
 
+/** Repository key of a kernel/app point (image size and seed are the
+ *  repository defaults).  Asserts on Workload::Trace points, whose
+ *  identity is the trace object itself. */
+TraceKey traceKeyFor(const SweepPoint &point);
+
 /** Result of one grid point, in submission order. */
 struct SweepResult
 {
@@ -81,16 +91,26 @@ struct SweepResult
  *  "0", "off" or "false". */
 bool sweepBatchFromEnv();
 
+/** Default for SweepOptions::decoded: true unless $VMMX_SWEEP_DECODED
+ *  is "0", "off" or "false". */
+bool sweepDecodedFromEnv();
+
 struct SweepOptions
 {
     /** Worker threads; 0 picks std::thread::hardware_concurrency(). */
     unsigned threads = 0;
-    /** Trace cache to resolve against; null uses the process-wide one. */
-    TraceCache *cache = nullptr;
+    /** Trace repository to resolve against; null uses the process-wide
+     *  one (TraceRepository::instance()). */
+    TraceRepository *repo = nullptr;
     /** Group points by trace and run each group as one batched pass
      *  (runTraceBatch).  Off: one runTrace job per point, as before the
      *  batched engine.  Results are bit-identical either way. */
     bool batch = sweepBatchFromEnv();
+    /** Resolve jobs through the repository's decoded tier (one decode
+     *  per trace per process).  Off: every job decodes on the fly, the
+     *  pre-repository behaviour.  Results are bit-identical either
+     *  way. */
+    bool decoded = sweepDecodedFromEnv();
 
     // ---- multi-process backend (src/dist/) ---------------------------
     /** Worker process count; 0 stays on the in-process thread pool.
@@ -172,11 +192,25 @@ class Sweep
     std::vector<SweepResult> runSerial() const;
 
   private:
-    SweepResult runPoint(const SweepPoint &point) const;
+    /** Resolve @p lead's trace once (decoded tier or raw) and replay it
+     *  on every machine; the single tier-dispatch site. */
+    std::vector<RunResult> resolveAndRun(const SweepPoint &lead,
+                                         std::span<const MachineConfig>
+                                             machines,
+                                         bool useDecoded,
+                                         u64 &traceLength) const;
+    /** Run one point; @p useDecoded false forces the decode-on-the-fly
+     *  reference path regardless of SweepOptions::decoded. */
+    SweepResult runPoint(const SweepPoint &point, bool useDecoded) const;
     /** Run one trace group batched; writes into submission slots. */
     void runGroup(const std::vector<u32> &group,
                   std::vector<SweepResult> &results) const;
-    SharedTrace resolve(const SweepPoint &point) const;
+    TraceRepository &repo() const;
+    /** Raw (tier-1) trace of @p point, pinned while borrowed. */
+    TraceRepository::TraceHandle resolveRaw(const SweepPoint &point) const;
+    /** Decoded (tier-2) stream of @p point, pinned while borrowed. */
+    TraceRepository::DecodedHandle
+    resolveDecoded(const SweepPoint &point) const;
 
     SweepOptions opts_;
     std::vector<SweepPoint> points_;

@@ -10,104 +10,17 @@ namespace vmmx
 namespace
 {
 
-size_t
-regClassIdx(RegClass c)
-{
-    return static_cast<size_t>(c);
-}
-
-/** Logical register table sizes, fixed per class. */
-constexpr size_t logicalTableSize[numRegClasses] = {64, 64, 64, 8};
-
-/** Offsets of each class inside the flat ready table. */
-constexpr size_t readyOffset[numRegClasses] = {0, 64, 128, 192};
-
 /** Records decoded per block.  Context state (register tables, ROB and
  *  store rings, cache tags) is large enough that switching contexts too
  *  often costs more than re-streaming decoded records, so blocks are
  *  sized for a 2 MiB decoded footprint: measured fastest on both short
  *  kernel traces (single block) and multi-MiB app traces, while
- *  bounding the scratch buffer for arbitrarily long traces. */
+ *  bounding the scratch buffer for arbitrarily long traces.  The
+ *  pre-decoded (DecodedStream) overload windows its pass with the same
+ *  constant so both shapes step contexts in the same block pattern. */
 constexpr size_t decodeBlock = 32768;
 
 } // namespace
-
-DecodedInst
-decodeInst(const InstRecord &inst)
-{
-    const OpTraits &info = inst.info();
-
-    DecodedInst d;
-    d.addr = inst.addr;
-    d.staticId = inst.staticId;
-    d.stride = inst.stride;
-    d.vl = inst.vl;
-    d.rows = inst.rows();
-    d.rowBytes = inst.rowBytes;
-    d.region = inst.region;
-    d.fu = static_cast<u8>(info.fu);
-    d.latency = info.latency;
-    d.clsIdx = static_cast<u8>(info.cls);
-    d.mulOcc = info.latency > 4 ? info.latency : 1;
-    d.transp = inst.op == Opcode::VTRANSP;
-
-    u8 flags = 0;
-    if (inst.isLoad())
-        flags |= DecodedInst::kLoad;
-    if (inst.isStore())
-        flags |= DecodedInst::kStore;
-    if (info.cls == InstClass::SCTRL) {
-        flags |= DecodedInst::kBranch;
-        if (inst.op == Opcode::BR)
-            flags |= DecodedInst::kCondBr;
-    }
-    if (inst.taken)
-        flags |= DecodedInst::kTaken;
-    if (info.fu != FuType::None)
-        flags |= DecodedInst::kTakesIq;
-    if (inst.op == Opcode::VLOAD || inst.op == Opcode::VSTORE ||
-        inst.op == Opcode::VLOADP || inst.op == Opcode::VSTOREP)
-        flags |= DecodedInst::kVecMem;
-    // Accumulating and partial-write ops read their destination too.
-    if (inst.dst.valid() &&
-        ((inst.dst.cls == RegClass::Acc && inst.op != Opcode::VACCCLR) ||
-         inst.op == Opcode::VLOADP || inst.op == Opcode::VACCPACK))
-        flags |= DecodedInst::kReadsDst;
-    d.flags = flags;
-
-    if (inst.dst.valid()) {
-        d.dstCls = u8(regClassIdx(inst.dst.cls));
-        vmmx_assert(inst.dst.idx < logicalTableSize[d.dstCls],
-                    "logical register out of range");
-        d.dstReg = u8(readyOffset[d.dstCls] + inst.dst.idx);
-    }
-    for (const RegId *src : {&inst.src0, &inst.src1, &inst.src2}) {
-        if (!src->valid())
-            continue;
-        size_t cls = regClassIdx(src->cls);
-        vmmx_assert(src->idx < logicalTableSize[cls],
-                    "logical register out of range");
-        d.srcReg[d.nSrcs] = u8(readyOffset[cls] + src->idx);
-        ++d.nSrcs;
-    }
-
-    if (info.fu == FuType::Mem) {
-        // Footprint [lo, hi) of the access, covering all strided rows.
-        Addr lo = inst.addr;
-        Addr hi = inst.addr;
-        if (inst.vl > 0 && inst.stride != 0) {
-            s64 span = s64(inst.stride) * (inst.rows() - 1);
-            if (span < 0)
-                lo = Addr(s64(lo) + span);
-            else
-                hi = Addr(s64(hi) + span);
-        }
-        hi += inst.rowBytes;
-        d.lo = lo;
-        d.hi = hi;
-    }
-    return d;
-}
 
 SimContext::SimContext(const CoreParams &params, MemorySystem *mem)
     : params_(params),
@@ -132,9 +45,8 @@ SimContext::SimContext(const CoreParams &params, MemorySystem *mem)
     freeLists_.emplace_back(params.physSimd, params.logicalSimd);
     freeLists_.emplace_back(params.physAcc, params.logicalAcc);
 
-    static_assert(readySlots ==
-                  readyOffset[numRegClasses - 1] +
-                      logicalTableSize[numRegClasses - 1]);
+    static_assert(readySlots == decodedReadySlots,
+                  "ready table must match the decoded slot numbering");
     regReady_.fill(0);
 
     vmmx_assert(params.lanesPerFu > 0, "lanesPerFu must be positive");
@@ -414,6 +326,35 @@ runBatch(const std::vector<InstRecord> &trace,
         for (SimContext *ctx : ctxs)
             for (size_t i = 0; i < n; ++i)
                 ctx->step(block[i]);
+    }
+}
+
+void
+runBatch(const DecodedStream &stream, std::span<SimContext *const> ctxs)
+{
+    for (SimContext *ctx : ctxs) {
+        vmmx_assert(ctx != nullptr, "null context in batch");
+        ctx->reset();
+    }
+    if (ctxs.empty())
+        return;
+
+    const std::vector<DecodedInst> &insts = stream.insts;
+    if (ctxs.size() == 1) {
+        SimContext &ctx = *ctxs[0];
+        for (const DecodedInst &inst : insts)
+            ctx.step(inst);
+        return;
+    }
+
+    // Same block windowing as the decoding overload: each context
+    // streams a cache-warm window before the batch advances, and the
+    // per-context step order is identical record for record.
+    for (size_t base = 0; base < insts.size(); base += decodeBlock) {
+        size_t n = std::min(decodeBlock, insts.size() - base);
+        for (SimContext *ctx : ctxs)
+            for (size_t i = 0; i < n; ++i)
+                ctx->step(insts[base + i]);
     }
 }
 

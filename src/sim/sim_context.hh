@@ -14,17 +14,20 @@
  * instead of N times.
  *
  * The decode split: everything about an InstRecord that does not depend
- * on the machine configuration (opcode traits, source/destination
- * register lists, memory footprint bounds, branch kind and outcome) is
- * resolved once into a DecodedInst and shared by every context.  Only
- * the configuration-dependent arbitration (gate widths, queue and pool
- * occupancy, cache state) runs per context.
+ * on the machine configuration is resolved once into a DecodedInst
+ * (trace/decoded.hh -- the decode lives in the trace layer so the
+ * TraceRepository can cache whole decoded streams as its tier 2) and
+ * shared by every context.  Only the configuration-dependent
+ * arbitration (gate widths, queue and pool occupancy, cache state) runs
+ * per context.
  *
- * runBatch() processes the trace in cache-resident blocks: each block
- * is decoded once, then every context steps through it before the next
- * block is touched.  Contexts are mutually independent, so the result
- * of a batched run is bit-identical to running each context over the
- * full trace alone -- the guarantee the sweep and dist layers assert.
+ * runBatch() comes in two shapes.  Given a raw trace it processes it in
+ * cache-resident blocks, decoding each block once before every context
+ * steps through it.  Given an already-decoded DecodedStream (the
+ * repository's tier 2) it skips decode entirely and streams the warm
+ * blocks -- the per-record step order is identical, so both shapes are
+ * bit-identical to running each context over the full trace alone, the
+ * guarantee the sweep and dist layers assert.
  */
 
 #ifndef VMMX_SIM_SIM_CONTEXT_HH
@@ -39,55 +42,10 @@
 #include "sim/params.hh"
 #include "sim/resources.hh"
 #include "sim/runstats.hh"
+#include "trace/decoded.hh"
 
 namespace vmmx
 {
-
-/**
- * Configuration-independent decode of one InstRecord: opcode traits,
- * packed operand lists and the memory footprint, pre-resolved so the
- * per-context step never re-derives them.  Built once per trace block
- * and shared read-only by every context of a batch.
- */
-struct DecodedInst
-{
-    /** Sentinel register class index: no destination register. */
-    static constexpr u8 noDst = 0xff;
-
-    // Flag bits (kept out of per-config state: all trace-determined).
-    static constexpr u8 kLoad = 1 << 0;     ///< memory read
-    static constexpr u8 kStore = 1 << 1;    ///< memory write
-    static constexpr u8 kBranch = 1 << 2;   ///< any control transfer
-    static constexpr u8 kCondBr = 1 << 3;   ///< conditional (predicted)
-    static constexpr u8 kTaken = 1 << 4;    ///< resolved branch outcome
-    static constexpr u8 kReadsDst = 1 << 5; ///< merges into destination
-    static constexpr u8 kTakesIq = 1 << 6;  ///< occupies an IQ entry
-    static constexpr u8 kVecMem = 1 << 7;   ///< matrix (vector-port) access
-    Addr addr = 0;     ///< memory: resolved effective address
-    Addr lo = 0;       ///< memory: footprint lower bound (inclusive)
-    Addr hi = 0;       ///< memory: footprint upper bound (exclusive)
-    u32 staticId = 0;  ///< static site (branch predictor)
-    s32 stride = 0;    ///< memory: byte stride between rows
-    u16 vl = 0;        ///< raw vector length (0 = scalar / 1-D)
-    u16 rows = 1;      ///< rows processed (vl, or 1)
-    u16 rowBytes = 0;  ///< bytes per row
-    u16 region = 0;    ///< cycle-attribution region tag
-    u8 fu = 0;         ///< FuType of the executing unit
-    u8 latency = 0;    ///< post-issue execution latency
-    u8 clsIdx = 0;     ///< InstClass index (stats bucket)
-    u8 flags = 0;
-    u8 mulOcc = 1;     ///< IntMul pool occupancy
-    u8 transp = 0;     ///< occupies the lane-exchange network (VTRANSP)
-    u8 dstCls = noDst; ///< destination register class index, or noDst
-    u8 dstReg = 0;     ///< destination slot in the flat ready table
-    u8 nSrcs = 0;      ///< valid entries in srcReg
-    u8 srcReg[3] = {}; ///< source slots in the flat ready table
-
-    bool has(u8 flag) const { return flags & flag; }
-};
-
-/** Resolve the configuration-independent properties of @p inst. */
-DecodedInst decodeInst(const InstRecord &inst);
 
 /**
  * All mutable per-run state of the timing model for one machine
@@ -133,7 +91,7 @@ class SimContext
     /** Flat per-logical-register ready table: all classes side by side
      *  at fixed offsets (64 Int | 64 Fp | 64 Simd | 8 Acc), indexed by
      *  the slot numbers DecodedInst precomputes. */
-    static constexpr size_t readySlots = 200;
+    static constexpr size_t readySlots = decodedReadySlots;
     std::array<Cycle, readySlots> regReady_;
 
     /** Commit-cycle ring for the ROB-occupancy constraint; robPos_
@@ -184,6 +142,16 @@ class SimContext
  * over the trace alone.
  */
 void runBatch(const std::vector<InstRecord> &trace,
+              std::span<SimContext *const> ctxs);
+
+/**
+ * Replay an already-decoded stream (e.g. the TraceRepository's tier 2)
+ * through every context in @p ctxs: no decode at all, one pass over the
+ * warm decoded blocks.  Step order per context is identical to the
+ * raw-trace overload, so results are bit-identical to it -- and to
+ * running each context alone.
+ */
+void runBatch(const DecodedStream &stream,
               std::span<SimContext *const> ctxs);
 
 } // namespace vmmx

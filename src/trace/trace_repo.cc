@@ -1,0 +1,566 @@
+#include "trace/trace_repo.hh"
+
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+#include "apps/app.hh"
+#include "common/logging.hh"
+#include "common/memimage.hh"
+#include "common/rng.hh"
+#include "kernels/kernel.hh"
+#include "trace/program.hh"
+
+namespace vmmx
+{
+
+/**
+ * One trace across all RAM tiers.  The build mutex serializes
+ * materialization per entry; the atomics are readable without it (the
+ * eviction candidate scan), and bytes/pointers are written only under
+ * it.  Pin counters are incremented under the build mutex and
+ * decremented lock-free by handle destructors; eviction re-reads them
+ * after winning a try_lock on the build mutex, so a pin taken before
+ * the lookup returned can never be missed.
+ */
+struct TraceRepository::Entry
+{
+    std::mutex build;
+    TraceKey key;      ///< identity of keyed entries
+    bool keyed = true; ///< false: adopted explicit trace (tier 2 only)
+    /** Adopted entries: the caller-owned source trace (identity check
+     *  and re-decode source; never counted against the raw budget). */
+    std::weak_ptr<const std::vector<InstRecord>> source;
+
+    SharedTrace raw;       ///< tier 1 (null until filled / after eviction)
+    SharedDecoded decoded; ///< tier 2 (null until filled / after eviction)
+    std::atomic<bool> rawResident{false};
+    std::atomic<bool> decodedResident{false};
+    std::atomic<bool> onDisk{false};
+    std::atomic<u64> lastUseRaw{0};
+    std::atomic<u64> lastUseDecoded{0};
+    std::atomic<u32> rawPins{0};
+    std::atomic<u32> decodedPins{0};
+    u64 rawBytes = 0;     // written under build before rawResident
+    u64 decodedBytes = 0; // written under build before decodedResident
+};
+
+// ---- pin handles ---------------------------------------------------------
+
+TraceRepository::TraceHandle::TraceHandle(SharedTrace t,
+                                          std::shared_ptr<Entry> e)
+    : trace_(std::move(t)), entry_(std::move(e))
+{
+}
+
+TraceRepository::TraceHandle::TraceHandle(TraceHandle &&o) noexcept =
+    default;
+
+TraceRepository::TraceHandle &
+TraceRepository::TraceHandle::operator=(TraceHandle &&o) noexcept
+{
+    if (this != &o) {
+        release();
+        trace_ = std::move(o.trace_);
+        entry_ = std::move(o.entry_);
+        o.trace_ = nullptr;
+        o.entry_ = nullptr;
+    }
+    return *this;
+}
+
+TraceRepository::TraceHandle::~TraceHandle()
+{
+    release();
+}
+
+void
+TraceRepository::TraceHandle::release()
+{
+    if (entry_)
+        entry_->rawPins.fetch_sub(1, std::memory_order_release);
+    entry_ = nullptr;
+    trace_ = nullptr;
+}
+
+TraceRepository::DecodedHandle::DecodedHandle(SharedDecoded s,
+                                              std::shared_ptr<Entry> e)
+    : stream_(std::move(s)), entry_(std::move(e))
+{
+}
+
+TraceRepository::DecodedHandle::DecodedHandle(DecodedHandle &&o) noexcept =
+    default;
+
+TraceRepository::DecodedHandle &
+TraceRepository::DecodedHandle::operator=(DecodedHandle &&o) noexcept
+{
+    if (this != &o) {
+        release();
+        stream_ = std::move(o.stream_);
+        entry_ = std::move(o.entry_);
+        o.stream_ = nullptr;
+        o.entry_ = nullptr;
+    }
+    return *this;
+}
+
+TraceRepository::DecodedHandle::~DecodedHandle()
+{
+    release();
+}
+
+void
+TraceRepository::DecodedHandle::release()
+{
+    if (entry_)
+        entry_->decodedPins.fetch_sub(1, std::memory_order_release);
+    entry_ = nullptr;
+    stream_ = nullptr;
+}
+
+// ---- construction --------------------------------------------------------
+
+TraceRepository::TraceRepository(TraceStore *store, u64 rawBudgetBytes,
+                                 u64 decodedBudgetBytes)
+    : store_(store),
+      rawBudget_(rawBudgetBytes),
+      decodedBudget_(decodedBudgetBytes)
+{
+}
+
+TraceRepository::~TraceRepository() = default;
+
+TraceRepository &
+TraceRepository::instance()
+{
+    // The disk tier is opt-in for the process-wide repository: benches
+    // that pin references for the process lifetime should not silently
+    // start writing files unless the user asked for a store.
+    static TraceStore *store = []() -> TraceStore * {
+        const char *env = std::getenv("VMMX_TRACE_STORE");
+        if (!env || !*env)
+            return nullptr;
+        static TraceStore s(env);
+        return &s;
+    }();
+    static TraceRepository repo(store);
+    return repo;
+}
+
+bool
+TraceRepository::parseBudget(const char *text, u64 &bytes)
+{
+    if (!text || !*text)
+        return false;
+    // strtoull would silently wrap a leading '-' to a huge budget.
+    if (text[0] == '-')
+        return false;
+    char *end = nullptr;
+    u64 v = std::strtoull(text, &end, 0);
+    if (end == text)
+        return false;
+    switch (*end) {
+      case 'k': case 'K': v <<= 10; ++end; break;
+      case 'm': case 'M': v <<= 20; ++end; break;
+      case 'g': case 'G': v <<= 30; ++end; break;
+      default: break;
+    }
+    if (*end != '\0')
+        return false;
+    bytes = v;
+    return true;
+}
+
+u64
+TraceRepository::budgetFromEnv(const char *envVar)
+{
+    const char *env = std::getenv(envVar);
+    if (!env || !*env)
+        return 0;
+    u64 bytes = 0;
+    if (!parseBudget(env, bytes)) {
+        warn("ignoring unparsable %s='%s'", envVar, env);
+        return 0;
+    }
+    return bytes;
+}
+
+void
+TraceRepository::attachStore(TraceStore *store)
+{
+    store_ = store;
+}
+
+// ---- lookups -------------------------------------------------------------
+
+std::shared_ptr<TraceRepository::Entry>
+TraceRepository::entryFor(const TraceKey &key)
+{
+    std::lock_guard<std::mutex> lock(registryMu_);
+    auto it = keyed_.find(key);
+    if (it == keyed_.end()) {
+        auto e = std::make_shared<Entry>();
+        e->key = key;
+        it = keyed_.emplace(key, std::move(e)).first;
+    }
+    return it->second;
+}
+
+std::shared_ptr<TraceRepository::Entry>
+TraceRepository::entryFor(const SharedTrace &trace)
+{
+    vmmx_assert(trace != nullptr, "cannot adopt a null trace");
+    std::lock_guard<std::mutex> lock(registryMu_);
+    // Identity keys can be reused after their trace dies; prune expired
+    // adoptions so a recycled address never serves stale bytes.  A
+    // pinned entry stays (a DecodedHandle may outlive the source trace
+    // it was decoded from) and is reaped on a later pass.
+    for (auto it = adopted_.begin(); it != adopted_.end();) {
+        Entry &e = *it->second;
+        if (e.source.expired() && e.decodedPins.load() == 0 &&
+            e.build.try_lock()) {
+            if (e.decodedResident.load() && e.decodedPins.load() == 0) {
+                bytesDecoded_ -= e.decodedBytes;
+                e.decodedResident = false;
+                e.decoded.reset();
+            }
+            e.build.unlock();
+            it = adopted_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    auto it = adopted_.find(trace.get());
+    // An unpruned (pinned) stale entry can squat on a recycled address:
+    // require true object identity, not just pointer equality.
+    if (it != adopted_.end() && it->second->source.lock() != trace) {
+        if (it->second->decodedResident.load())
+            bytesDecoded_ -= it->second->decodedBytes;
+        adopted_.erase(it);
+        it = adopted_.end();
+    }
+    if (it == adopted_.end()) {
+        auto e = std::make_shared<Entry>();
+        e->keyed = false;
+        e->source = trace;
+        it = adopted_.emplace(trace.get(), std::move(e)).first;
+    }
+    return it->second;
+}
+
+SharedTrace
+TraceRepository::materializeRaw(Entry &e)
+{
+    vmmx_assert(e.keyed, "only keyed entries own a raw tier");
+    if (store_) {
+        if (SharedTrace t = store_->load(e.key)) {
+            e.raw = std::move(t);
+            e.rawBytes = e.raw->size() * sizeof(InstRecord);
+            e.onDisk = true;
+            e.rawResident = true;
+            bytesRaw_ += e.rawBytes;
+            ++diskLoads_;
+            return e.raw;
+        }
+    }
+
+    std::vector<InstRecord> trace;
+    {
+        const TraceKey &key = e.key;
+        MemImage mem(key.imageBytes);
+        Rng rng(key.seed);
+        if (key.isApp) {
+            auto a = makeApp(key.name);
+            a->prepare(mem, rng);
+            Program p(mem, key.kind);
+            a->emit(p);
+            trace = p.takeTrace();
+        } else {
+            auto k = makeKernel(key.name);
+            k->prepare(mem, rng);
+            Program p(mem, key.kind);
+            k->emit(p);
+            trace = p.takeTrace();
+        }
+    }
+
+    e.raw = std::make_shared<const std::vector<InstRecord>>(std::move(trace));
+    e.rawBytes = e.raw->size() * sizeof(InstRecord);
+    e.rawResident = true;
+    bytesRaw_ += e.rawBytes;
+    ++generations_;
+    if (store_ && store_->save(e.key, *e.raw))
+        e.onDisk = true;
+    return e.raw;
+}
+
+TraceRepository::TraceHandle
+TraceRepository::kernel(const std::string &name, SimdKind kind,
+                        u32 imageBytes, u64 seed)
+{
+    return raw({false, name, kind, imageBytes, seed});
+}
+
+TraceRepository::TraceHandle
+TraceRepository::app(const std::string &name, SimdKind kind, u32 imageBytes,
+                     u64 seed)
+{
+    return raw({true, name, kind, imageBytes, seed});
+}
+
+TraceRepository::TraceHandle
+TraceRepository::raw(const TraceKey &key)
+{
+    std::shared_ptr<Entry> entry = entryFor(key);
+
+    std::lock_guard<std::mutex> build(entry->build);
+    if (entry->raw)
+        ++rawHits_;
+    else
+        materializeRaw(*entry);
+    SharedTrace t = entry->raw;
+    entry->rawPins.fetch_add(1, std::memory_order_relaxed);
+    touchRawAndEnforce(entry.get());
+    return TraceHandle(std::move(t), std::move(entry));
+}
+
+TraceRepository::DecodedHandle
+TraceRepository::decoded(const TraceKey &key)
+{
+    std::shared_ptr<Entry> entry = entryFor(key);
+
+    std::lock_guard<std::mutex> build(entry->build);
+    if (entry->decoded) {
+        ++decodedHits_;
+    } else {
+        // Fill from tier 1 (itself filling from disk or generation);
+        // the raw copy stays resident for later raw() lookups and is
+        // reclaimed by its own budget, not by this one.
+        SharedTrace src = entry->raw;
+        if (!src)
+            src = materializeRaw(*entry);
+        entry->decoded =
+            std::make_shared<const DecodedStream>(decodeStream(*src));
+        entry->decodedBytes = entry->decoded->bytes();
+        entry->decodedResident = true;
+        bytesDecoded_ += entry->decodedBytes;
+        ++decodes_;
+        // The raw tier was touched by the fill even on a decoded miss.
+        entry->lastUseRaw = ++useClock_;
+    }
+    SharedDecoded s = entry->decoded;
+    entry->decodedPins.fetch_add(1, std::memory_order_relaxed);
+    touchDecodedAndEnforce(entry.get());
+    return DecodedHandle(std::move(s), std::move(entry));
+}
+
+TraceRepository::DecodedHandle
+TraceRepository::decoded(const SharedTrace &trace)
+{
+    std::shared_ptr<Entry> entry = entryFor(trace);
+
+    std::lock_guard<std::mutex> build(entry->build);
+    if (entry->decoded) {
+        ++decodedHits_;
+    } else {
+        entry->decoded =
+            std::make_shared<const DecodedStream>(decodeStream(*trace));
+        entry->decodedBytes = entry->decoded->bytes();
+        entry->decodedResident = true;
+        bytesDecoded_ += entry->decodedBytes;
+        ++decodes_;
+    }
+    SharedDecoded s = entry->decoded;
+    entry->decodedPins.fetch_add(1, std::memory_order_relaxed);
+    touchDecodedAndEnforce(entry.get());
+    return DecodedHandle(std::move(s), std::move(entry));
+}
+
+// ---- budgets -------------------------------------------------------------
+
+void
+TraceRepository::touchRawAndEnforce(Entry *keep)
+{
+    keep->lastUseRaw = ++useClock_;
+    enforceBudgets(keep);
+}
+
+void
+TraceRepository::touchDecodedAndEnforce(Entry *keep)
+{
+    keep->lastUseDecoded = ++useClock_;
+    enforceBudgets(keep);
+}
+
+void
+TraceRepository::enforceBudgets(Entry *keep)
+{
+    u64 rawBudget = rawBudget_.load();
+    u64 decodedBudget = decodedBudget_.load();
+    bool overRaw = rawBudget != 0 && bytesRaw_.load() > rawBudget;
+    bool overDecoded =
+        decodedBudget != 0 && bytesDecoded_.load() > decodedBudget;
+    if (!overRaw && !overDecoded)
+        return;
+
+    std::lock_guard<std::mutex> lock(registryMu_);
+    for (;;) {
+        overRaw = rawBudget != 0 && bytesRaw_.load() > rawBudget;
+        overDecoded =
+            decodedBudget != 0 && bytesDecoded_.load() > decodedBudget;
+        if (!overRaw && !overDecoded)
+            return;
+
+        // One LRU spanning both RAM tiers: the victim is the (entry,
+        // tier) pair with the oldest use stamp among tiers over their
+        // budget.  A tier copy is evictable when it is resident,
+        // unpinned, safe to drop (raw: mirrored on disk; decoded:
+        // always, it re-materializes from tier 1), and not part of the
+        // entry being returned right now.
+        Entry *victim = nullptr;
+        bool victimDecoded = false;
+        u64 oldest = ~0ull;
+        auto consider = [&](Entry *e) {
+            if (e == keep)
+                return;
+            // One load per stamp: a concurrent touch between compare
+            // and assign would otherwise inflate `oldest` past the
+            // value that won, skewing the LRU choice.
+            if (overRaw && e->rawResident.load() && e->onDisk.load() &&
+                e->rawPins.load() == 0) {
+                u64 use = e->lastUseRaw.load();
+                if (use < oldest) {
+                    oldest = use;
+                    victim = e;
+                    victimDecoded = false;
+                }
+            }
+            if (overDecoded && e->decodedResident.load() &&
+                e->decodedPins.load() == 0) {
+                u64 use = e->lastUseDecoded.load();
+                if (use < oldest) {
+                    oldest = use;
+                    victim = e;
+                    victimDecoded = true;
+                }
+            }
+        };
+        for (auto &kv : keyed_)
+            consider(kv.second.get());
+        for (auto &kv : adopted_)
+            consider(kv.second.get());
+        if (!victim)
+            return; // everything left is pinned or not safely droppable
+        // try_lock is load-bearing: lookups hold an entry lock while
+        // calling into here for registryMu_, so blocking on the
+        // victim's entry lock here would invert the two lock orders and
+        // can deadlock.  A busy victim just ends this eviction pass.
+        if (!victim->build.try_lock())
+            return;
+        // Re-check under the lock: a pin may have landed between the
+        // candidate scan and the lock.
+        if (victimDecoded) {
+            if (victim->decodedResident.load() &&
+                victim->decodedPins.load() == 0) {
+                victim->decoded.reset();
+                victim->decodedResident = false;
+                bytesDecoded_ -= victim->decodedBytes;
+                ++decodedEvictions_;
+            }
+        } else {
+            if (victim->rawResident.load() && victim->rawPins.load() == 0) {
+                victim->raw.reset();
+                victim->rawResident = false;
+                bytesRaw_ -= victim->rawBytes;
+                ++rawEvictions_;
+            }
+        }
+        victim->build.unlock();
+    }
+}
+
+// ---- statistics ----------------------------------------------------------
+
+TraceRepository::TierStats
+TraceRepository::rawStats() const
+{
+    return {rawHits_.load(), generations_.load() + diskLoads_.load(),
+            rawEvictions_.load(), bytesRaw_.load()};
+}
+
+TraceRepository::TierStats
+TraceRepository::decodedStats() const
+{
+    return {decodedHits_.load(), decodes_.load(), decodedEvictions_.load(),
+            bytesDecoded_.load()};
+}
+
+size_t
+TraceRepository::size() const
+{
+    std::lock_guard<std::mutex> lock(registryMu_);
+    return keyed_.size() + adopted_.size();
+}
+
+std::string
+TraceRepository::summary() const
+{
+    size_t nKeyed, nAdopted;
+    {
+        std::lock_guard<std::mutex> lock(registryMu_);
+        nKeyed = keyed_.size();
+        nAdopted = adopted_.size();
+    }
+    TierStats rawT = rawStats();
+    TierStats decT = decodedStats();
+    auto mib = [](u64 b) { return double(b) / (1024.0 * 1024.0); };
+    auto budgetStr = [&](u64 b) {
+        if (b == 0)
+            return std::string("unlimited");
+        std::ostringstream s;
+        s << std::fixed << std::setprecision(1) << mib(b) << " MiB";
+        return s.str();
+    };
+
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1);
+    os << "trace repository: " << nKeyed + nAdopted << " traces";
+    if (nAdopted)
+        os << " (" << nAdopted << " adopted)";
+    os << '\n';
+    os << "  tier0 disk   : ";
+    if (store_)
+        os << store_->loads() << " loads, " << store_->saves() << " saves, "
+           << store_->misses() << " misses [" << store_->dir() << "]";
+    else
+        os << "detached";
+    os << '\n';
+    os << "  tier1 raw    : " << mib(rawT.bytes) << " MiB resident (budget "
+       << budgetStr(rawBudget()) << "), " << rawT.hits << " hits, "
+       << rawT.fills << " fills (" << generations() << " generated, "
+       << diskLoads() << " from disk), " << rawT.evictions << " evictions\n";
+    os << "  tier2 decoded: " << mib(decT.bytes) << " MiB resident (budget "
+       << budgetStr(decodedBudget()) << "), " << decT.hits << " hits, "
+       << decT.fills << " decodes, " << decT.evictions << " evictions";
+    return os.str();
+}
+
+void
+TraceRepository::clear()
+{
+    std::lock_guard<std::mutex> lock(registryMu_);
+    keyed_.clear();
+    adopted_.clear();
+    bytesRaw_ = 0;
+    bytesDecoded_ = 0;
+    generations_ = 0;
+    diskLoads_ = 0;
+    decodes_ = 0;
+    rawHits_ = 0;
+    decodedHits_ = 0;
+    rawEvictions_ = 0;
+    decodedEvictions_ = 0;
+}
+
+} // namespace vmmx

@@ -6,9 +6,9 @@
  * to the serial in-process sweep on the same grid; a second run of the
  * same grid is served entirely from the on-disk TraceStore (zero trace
  * regenerations); and an interrupted journaled run resumes without
- * re-executing completed grid points.  Plus the TraceStore / TraceCache
- * disk-tier mechanics: round trips, corruption tolerance, and budgeted
- * eviction of RAM copies.
+ * re-executing completed grid points.  Plus the TraceStore (tier-0)
+ * mechanics: round trips and corruption tolerance.  Budgeted eviction
+ * and the tiered repository itself live in tests/test_trace_repo.cc.
  */
 
 #include <gtest/gtest.h>
@@ -22,7 +22,7 @@
 #include "common/logging.hh"
 #include "dist/driver.hh"
 #include "harness/sweep.hh"
-#include "trace/trace_cache.hh"
+#include "trace/trace_repo.hh"
 #include "trace/trace_store.hh"
 
 namespace fs = std::filesystem;
@@ -64,14 +64,14 @@ class DistTest : public testing::Test
     {
         SweepOptions opts;
         opts.threads = 1;
-        opts.cache = &serialCache_;
+        opts.repo = &serialRepo_;
         Sweep sweep(opts);
         buildGrid(sweep);
         return sweep.runSerial();
     }
 
     fs::path dir_;
-    TraceCache serialCache_;
+    TraceRepository serialRepo_;
 };
 
 // The ISSUE acceptance test: 2-process sharded run of a >= 24-point grid
@@ -138,8 +138,8 @@ TEST_F(DistTest, OddWorkerCountsStayIdentical)
 
 TEST_F(DistTest, ExplicitTracePointsCrossTheWire)
 {
-    TraceCache cache;
-    SharedTrace trace = cache.kernel("addblock", SimdKind::MMX64);
+    TraceRepository repo;
+    SharedTrace trace = repo.kernel("addblock", SimdKind::MMX64).shared();
 
     auto build = [&](Sweep &s) {
         for (unsigned way : {2u, 4u, 8u})
@@ -147,7 +147,7 @@ TEST_F(DistTest, ExplicitTracePointsCrossTheWire)
     };
     SweepOptions serialOpts;
     serialOpts.threads = 1;
-    serialOpts.cache = &cache;
+    serialOpts.repo = &repo;
     Sweep serial(serialOpts);
     build(serial);
     auto expect = serial.runSerial();
@@ -307,8 +307,8 @@ TEST_F(DistTest, JournalForADifferentGridIsDiscarded)
     EXPECT_EQ(stats.jobsResumed, 0u);
     EXPECT_EQ(stats.jobsRun, 1u);
 
-    TraceCache cache;
-    auto trace = cache.kernel("ltpfilt", SimdKind::VMMX128);
+    TraceRepository repo;
+    auto trace = repo.kernel("ltpfilt", SimdKind::VMMX128);
     RunResult direct = runTrace(makeMachine(SimdKind::VMMX128, 4), *trace);
     EXPECT_TRUE(got[0].result == direct);
 }
@@ -316,10 +316,11 @@ TEST_F(DistTest, JournalForADifferentGridIsDiscarded)
 TEST_F(DistTest, TraceStoreRoundTripAndCorruptionTolerance)
 {
     TraceStore store(storeDir());
-    TraceCache cache;
+    TraceRepository repo;
     TraceKey key{false, "idct", SimdKind::VMMX64,
-                 TraceCache::kernelImageBytes, TraceCache::defaultSeed};
-    SharedTrace trace = cache.get(key);
+                 TraceRepository::kernelImageBytes,
+                 TraceRepository::defaultSeed};
+    SharedTrace trace = repo.raw(key).shared();
 
     EXPECT_EQ(store.load(key), nullptr); // empty store: miss
     EXPECT_EQ(store.misses(), 1u);
@@ -353,50 +354,6 @@ TEST_F(DistTest, TraceStoreRoundTripAndCorruptionTolerance)
     ASSERT_TRUE(store.save(key, *trace));
     fs::resize_file(file, fs::file_size(file) / 2);
     EXPECT_EQ(store.load(key), nullptr);
-}
-
-TEST_F(DistTest, BudgetEvictsDiskBackedTracesAndReloads)
-{
-    TraceStore store(storeDir());
-    TraceCache cache(&store, /*budgetBytes=*/1); // evict everything evictable
-    SharedTrace a = cache.kernel("motion1", SimdKind::MMX64);
-    u64 aBytes = a->size() * sizeof(InstRecord);
-    a.reset(); // cache's copy is the only remaining reference
-
-    // Generating a second trace pushes the first out of RAM (it is disk
-    // backed), leaving only the just-returned trace resident.
-    SharedTrace b = cache.kernel("motion2", SimdKind::MMX64);
-    EXPECT_EQ(cache.generations(), 2u);
-    EXPECT_GE(cache.evictions(), 1u);
-    EXPECT_LT(cache.bytesResident(),
-              aBytes + b->size() * sizeof(InstRecord));
-
-    // The evicted trace comes back from disk, not from regeneration.
-    SharedTrace a2 = cache.kernel("motion1", SimdKind::MMX64);
-    EXPECT_EQ(cache.generations(), 2u);
-    EXPECT_EQ(cache.diskLoads(), 1u);
-    ASSERT_NE(a2, nullptr);
-
-    // Without a store, the budget cannot evict (nothing is disk backed).
-    TraceCache ramOnly(nullptr, 1);
-    ramOnly.kernel("motion1", SimdKind::MMX64);
-    ramOnly.kernel("motion2", SimdKind::MMX64);
-    EXPECT_EQ(ramOnly.evictions(), 0u);
-    EXPECT_EQ(ramOnly.size(), 2u);
-}
-
-TEST_F(DistTest, BudgetFromEnvParsesSuffixes)
-{
-    ::setenv("VMMX_TRACE_CACHE_BUDGET", "64M", 1);
-    EXPECT_EQ(TraceCache::budgetFromEnv(), 64ull << 20);
-    ::setenv("VMMX_TRACE_CACHE_BUDGET", "2g", 1);
-    EXPECT_EQ(TraceCache::budgetFromEnv(), 2ull << 30);
-    ::setenv("VMMX_TRACE_CACHE_BUDGET", "4096", 1);
-    EXPECT_EQ(TraceCache::budgetFromEnv(), 4096ull);
-    ::setenv("VMMX_TRACE_CACHE_BUDGET", "potato", 1);
-    EXPECT_EQ(TraceCache::budgetFromEnv(), 0u);
-    ::unsetenv("VMMX_TRACE_CACHE_BUDGET");
-    EXPECT_EQ(TraceCache::budgetFromEnv(), 0u);
 }
 
 } // namespace

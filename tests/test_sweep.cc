@@ -1,12 +1,14 @@
 /**
  * @file
- * Sweep-engine and trace-cache tests: a multi-threaded sweep must be
- * bit-identical to the serial loop, results must come back in submission
- * order, and repeated trace lookups must hit the cache instead of
- * regenerating.  The batched engine adds its own contract: running N
- * machine configurations through one trace pass (runTraceBatch, or a
- * Sweep with batch on) must be bit-identical to N independent
- * runTrace() calls, for any batch size and any knob overrides.
+ * Sweep-engine and trace-repository tests: a multi-threaded sweep must
+ * be bit-identical to the serial loop, results must come back in
+ * submission order, and repeated trace lookups must hit the repository
+ * instead of regenerating.  The batched engine adds its own contract:
+ * running N machine configurations through one trace pass
+ * (runTraceBatch, or a Sweep with batch on) must be bit-identical to N
+ * independent runTrace() calls, for any batch size and any knob
+ * overrides -- and replaying the repository's pre-decoded tier-2 stream
+ * must be bit-identical to decoding on the fly.
  */
 
 #include <gtest/gtest.h>
@@ -16,7 +18,7 @@
 #include "common/logging.hh"
 #include "harness/sweep.hh"
 #include "kernels/kernel.hh"
-#include "trace/trace_cache.hh"
+#include "trace/trace_repo.hh"
 
 namespace vmmx
 {
@@ -28,38 +30,43 @@ class SweepTest : public testing::Test
   protected:
     void SetUp() override { setQuiet(true); }
 
-    /** A private cache per test so generation counts start at zero. */
-    TraceCache cache;
+    /** A private repository per test so counters start at zero.
+     *  Budgets come from the environment, so a CI run with tiny
+     *  budgets exercises the eviction/refill paths under every test
+     *  that only asserts results (count-sensitive tests below build
+     *  their own explicitly unbounded repository). */
+    TraceRepository repo;
 };
 
-TEST_F(SweepTest, TraceCacheGeneratesOncePerKey)
+TEST_F(SweepTest, RepositoryGeneratesOncePerKey)
 {
-    EXPECT_EQ(cache.generations(), 0u);
-    auto t1 = cache.kernel("idct", SimdKind::VMMX128);
-    EXPECT_EQ(cache.generations(), 1u);
-    EXPECT_EQ(cache.hits(), 0u);
+    TraceRepository unbounded(nullptr, 0, 0);
+    EXPECT_EQ(unbounded.generations(), 0u);
+    auto t1 = unbounded.kernel("idct", SimdKind::VMMX128);
+    EXPECT_EQ(unbounded.generations(), 1u);
+    EXPECT_EQ(unbounded.rawStats().hits, 0u);
 
-    // Second and third lookups of the same key: cache hits, no
+    // Second and third lookups of the same key: raw-tier hits, no
     // regeneration, same shared immutable trace object.
-    auto t2 = cache.kernel("idct", SimdKind::VMMX128);
-    auto t3 = cache.kernel("idct", SimdKind::VMMX128);
-    EXPECT_EQ(cache.generations(), 1u);
-    EXPECT_EQ(cache.hits(), 2u);
+    auto t2 = unbounded.kernel("idct", SimdKind::VMMX128);
+    auto t3 = unbounded.kernel("idct", SimdKind::VMMX128);
+    EXPECT_EQ(unbounded.generations(), 1u);
+    EXPECT_EQ(unbounded.rawStats().hits, 2u);
     EXPECT_EQ(t1.get(), t2.get());
     EXPECT_EQ(t1.get(), t3.get());
 
     // A different key generates again.
-    cache.kernel("idct", SimdKind::MMX64);
-    EXPECT_EQ(cache.generations(), 2u);
-    EXPECT_EQ(cache.size(), 2u);
+    auto t4 = unbounded.kernel("idct", SimdKind::MMX64);
+    EXPECT_EQ(unbounded.generations(), 2u);
+    EXPECT_EQ(unbounded.size(), 2u);
 }
 
-TEST_F(SweepTest, TraceCacheDistinguishesKindAndWorkload)
+TEST_F(SweepTest, RepositoryDistinguishesKindAndWorkload)
 {
-    auto a = cache.kernel("motion1", SimdKind::MMX64);
-    auto b = cache.kernel("motion1", SimdKind::MMX128);
-    auto c = cache.kernel("motion2", SimdKind::MMX64);
-    EXPECT_EQ(cache.generations(), 3u);
+    auto a = repo.kernel("motion1", SimdKind::MMX64);
+    auto b = repo.kernel("motion1", SimdKind::MMX128);
+    auto c = repo.kernel("motion2", SimdKind::MMX64);
+    EXPECT_EQ(repo.generations(), 3u);
     EXPECT_NE(a.get(), b.get());
     EXPECT_NE(a.get(), c.get());
     // Traces are genuinely different programs.
@@ -69,11 +76,11 @@ TEST_F(SweepTest, TraceCacheDistinguishesKindAndWorkload)
 
 TEST_F(SweepTest, CachedTraceMatchesDirectGeneration)
 {
-    auto cached = cache.kernel("ycc", SimdKind::VMMX64);
+    auto cached = repo.kernel("ycc", SimdKind::VMMX64);
 
     auto k = makeKernel("ycc");
-    MemImage mem(TraceCache::kernelImageBytes);
-    Rng rng(TraceCache::defaultSeed);
+    MemImage mem(TraceRepository::kernelImageBytes);
+    Rng rng(TraceRepository::defaultSeed);
     k->prepare(mem, rng);
     Program p(mem, SimdKind::VMMX64);
     k->emit(p);
@@ -87,14 +94,32 @@ TEST_F(SweepTest, CachedTraceMatchesDirectGeneration)
     }
 }
 
+TEST_F(SweepTest, DecodedStreamMatchesOnTheFlyDecode)
+{
+    // The tier-2 contract: replaying the repository's decoded stream is
+    // bit-identical to handing runTrace the raw records.
+    auto trace = repo.kernel("h2v2", SimdKind::VMMX128);
+    auto stream = repo.decoded(
+        {false, "h2v2", SimdKind::VMMX128, TraceRepository::kernelImageBytes,
+         TraceRepository::defaultSeed});
+    ASSERT_EQ(stream.records(), trace->size());
+
+    for (unsigned way : {2u, 8u}) {
+        MachineConfig machine = makeMachine(SimdKind::VMMX128, way);
+        RunResult raw = runTrace(machine, *trace);
+        RunResult decoded = runTrace(machine, stream.stream());
+        EXPECT_TRUE(raw == decoded) << way << "-way";
+    }
+}
+
 TEST_F(SweepTest, ParallelSweepBitIdenticalToSerial)
 {
     // >= 8 (kernel x flavour x width) points with distinct shapes.
     SweepOptions serialOpts;
-    serialOpts.cache = &cache;
+    serialOpts.repo = &repo;
     serialOpts.threads = 1;
     SweepOptions poolOpts;
-    poolOpts.cache = &cache;
+    poolOpts.repo = &repo;
     poolOpts.threads = 4;
 
     auto build = [](Sweep &s) {
@@ -125,37 +150,70 @@ TEST_F(SweepTest, ParallelSweepBitIdenticalToSerial)
         EXPECT_TRUE(a[i].sameRun(c[i])) << "point " << i;
 }
 
-TEST_F(SweepTest, SweepSharesTracesAcrossPoints)
+TEST_F(SweepTest, SweepSharesDecodedStreamsAcrossPoints)
 {
+    TraceRepository unbounded(nullptr, 0, 0);
     SweepOptions opts;
-    opts.cache = &cache;
+    opts.repo = &unbounded;
     opts.threads = 4;
     opts.batch = false; // per-point jobs: each point looks its trace up
+    opts.decoded = true;
     Sweep sweep(opts);
     // 3 widths x 2 flavours of one kernel: 6 points, 2 distinct traces.
     sweep.addKernelGrid({"rgb"}, {SimdKind::MMX64, SimdKind::VMMX128},
                         {2, 4, 8});
     auto results = sweep.run();
     EXPECT_EQ(results.size(), 6u);
-    EXPECT_EQ(cache.generations(), 2u);
-    EXPECT_EQ(cache.hits(), 4u);
+    // Each trace was generated and decoded exactly once; the other four
+    // per-point lookups were decoded-tier hits.
+    EXPECT_EQ(unbounded.generations(), 2u);
+    EXPECT_EQ(unbounded.decodes(), 2u);
+    EXPECT_EQ(unbounded.decodedStats().hits, 4u);
 
     // Same trace => same dynamic length at every width.
     EXPECT_EQ(results[0].traceLength, results[1].traceLength);
     EXPECT_EQ(results[0].traceLength, results[2].traceLength);
 
-    // Batched: the whole group resolves its trace once, so the second
-    // sweep adds one hit per distinct trace -- and identical results.
+    // Batched: the whole group resolves its stream once, so the second
+    // sweep adds one decoded hit per distinct trace -- and identical
+    // results, with still no regeneration or re-decode.
     SweepOptions batched = opts;
     batched.batch = true;
     Sweep grouped(batched);
     grouped.addKernelGrid({"rgb"}, {SimdKind::MMX64, SimdKind::VMMX128},
                           {2, 4, 8});
     auto batchedResults = grouped.run();
-    EXPECT_EQ(cache.generations(), 2u);
-    EXPECT_EQ(cache.hits(), 6u);
+    EXPECT_EQ(unbounded.generations(), 2u);
+    EXPECT_EQ(unbounded.decodes(), 2u);
+    EXPECT_EQ(unbounded.decodedStats().hits, 6u);
     for (size_t i = 0; i < results.size(); ++i)
         EXPECT_TRUE(results[i].sameRun(batchedResults[i])) << "point " << i;
+}
+
+TEST_F(SweepTest, DecodedTierOffMatchesDecodedTierOn)
+{
+    SweepOptions on;
+    on.repo = &repo;
+    on.threads = 2;
+    on.decoded = true;
+    SweepOptions off = on;
+    off.decoded = false;
+
+    auto build = [](Sweep &s) {
+        s.addKernelGrid({"ltpfilt", "comp"},
+                        {SimdKind::VMMX64, SimdKind::MMX128}, {2, 8});
+    };
+    Sweep withTier(on);
+    Sweep without(off);
+    build(withTier);
+    build(without);
+
+    auto a = withTier.run();
+    auto b = without.run();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_TRUE(a[i].sameRun(b[i]))
+            << "point " << i << " (" << a[i].point.label() << ")";
 }
 
 TEST_F(SweepTest, LabelIncludesAblationOverrides)
@@ -185,8 +243,8 @@ TEST_F(SweepTest, LabelIncludesAblationOverrides)
 
 TEST_F(SweepTest, ExplicitTracePointsRun)
 {
-    auto trace = cache.kernel("addblock", SimdKind::MMX64);
-    auto results = sweepTrace(trace, SimdKind::MMX64, {2, 4, 8});
+    auto trace = repo.kernel("addblock", SimdKind::MMX64);
+    auto results = sweepTrace(trace.shared(), SimdKind::MMX64, {2, 4, 8});
     ASSERT_EQ(results.size(), 3u);
     // Wider machines are not slower on the same trace.
     EXPECT_GE(results[0].cycles(), results[1].cycles());
@@ -196,14 +254,14 @@ TEST_F(SweepTest, ExplicitTracePointsRun)
 TEST_F(SweepTest, ResultsMatchDirectRunTrace)
 {
     SweepOptions opts;
-    opts.cache = &cache;
+    opts.repo = &repo;
     opts.threads = 2;
     Sweep sweep(opts);
     sweep.addKernel("ltpfilt", SimdKind::VMMX128, 4);
     auto results = sweep.run();
     ASSERT_EQ(results.size(), 1u);
 
-    auto trace = cache.kernel("ltpfilt", SimdKind::VMMX128);
+    auto trace = repo.kernel("ltpfilt", SimdKind::VMMX128);
     RunResult direct = runTrace(makeMachine(SimdKind::VMMX128, 4), *trace);
     EXPECT_TRUE(results[0].result == direct);
 }
@@ -241,11 +299,12 @@ randomMachine(std::mt19937 &rng, SimdKind kind)
 // The batched-execution contract: one trace pass through N randomized
 // configurations is bit-identical to N independent runTrace() calls --
 // for a batch of one, a pair, and a batch wider than the sweep engine's
-// thread pool.
+// thread pool -- and the pre-decoded (tier-2) pass agrees with both.
 TEST_F(SweepTest, RunTraceBatchMatchesPerConfigRunTrace)
 {
     for (SimdKind kind : {SimdKind::MMX64, SimdKind::VMMX128}) {
-        auto trace = cache.kernel("idct", kind);
+        auto trace = repo.kernel("idct", kind);
+        auto stream = repo.decoded(trace.shared());
         std::mt19937 rng(0xbeef);
         for (size_t batchSize : {size_t(1), size_t(2), size_t(9)}) {
             std::vector<MachineConfig> machines;
@@ -254,11 +313,15 @@ TEST_F(SweepTest, RunTraceBatchMatchesPerConfigRunTrace)
                 machines.push_back(randomMachine(rng, kind));
 
             auto batched = runTraceBatch(machines, *trace);
+            auto decoded = runTraceBatch(machines, stream.stream());
             ASSERT_EQ(batched.size(), batchSize);
             for (size_t i = 0; i < batchSize; ++i) {
                 RunResult alone = runTrace(machines[i], *trace);
                 EXPECT_TRUE(batched[i] == alone)
                     << name(kind) << " batch of " << batchSize
+                    << ", config " << i;
+                EXPECT_TRUE(decoded[i] == alone)
+                    << name(kind) << " decoded batch of " << batchSize
                     << ", config " << i;
             }
         }
@@ -270,10 +333,10 @@ TEST_F(SweepTest, RunTraceBatchMatchesPerConfigRunTrace)
 TEST_F(SweepTest, BatchedSweepBitIdenticalToSerial)
 {
     SweepOptions serialOpts;
-    serialOpts.cache = &cache;
+    serialOpts.repo = &repo;
     serialOpts.threads = 1;
     SweepOptions batchedOpts;
-    batchedOpts.cache = &cache;
+    batchedOpts.repo = &repo;
     batchedOpts.threads = 4;
     batchedOpts.batch = true;
 

@@ -14,7 +14,7 @@
 #include "dist/protocol.hh"
 #include "dist/wire.hh"
 #include "harness/harness_io.hh"
-#include "trace/trace_cache.hh"
+#include "trace/trace_repo.hh"
 #include "trace/trace_io.hh"
 
 namespace vmmx
@@ -197,9 +197,9 @@ TEST_F(WireTest, CorruptTraceStreamsFailCleanly)
 
 TEST_F(WireTest, RealKernelTraceRoundTripsAndCompresses)
 {
-    TraceCache cache;
+    TraceRepository repo;
     for (auto kind : {SimdKind::MMX64, SimdKind::VMMX128}) {
-        SharedTrace t = cache.kernel("idct", kind);
+        SharedTrace t = repo.kernel("idct", kind).shared();
         wire::Writer w;
         encodeTrace(*t, w);
         wire::Reader r(w.buffer());

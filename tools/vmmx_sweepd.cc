@@ -71,10 +71,19 @@ usage(int rc)
         "  --ways w,...       machine widths (default 2,4,8)\n"
         "  --store DIR        trace store directory\n"
         "                     (default $VMMX_TRACE_STORE or system tmp)\n"
+        "  --cache-budget B   per-worker raw-trace RAM budget, e.g. 256M\n"
+        "                     (default $VMMX_TRACE_CACHE_BUDGET;\n"
+        "                     0 = unlimited)\n"
+        "  --decoded-budget B per-worker decoded-stream RAM budget\n"
+        "                     (default $VMMX_DECODED_CACHE_BUDGET;\n"
+        "                     0 = unlimited)\n"
         "  --journal FILE     crash-resume journal; rerun with the same\n"
         "                     file to resume an interrupted sweep\n"
         "  --no-batch         one point per dispatch instead of batched\n"
         "                     trace groups (or set VMMX_SWEEP_BATCH=0)\n"
+        "  --no-decoded       decode per dispatch instead of serving the\n"
+        "                     repository's decoded tier (or set\n"
+        "                     VMMX_SWEEP_DECODED=0)\n"
         "  --check            verify against the serial in-process sweep\n"
         "  --verbose          keep worker warn()/inform() output\n"
         "  --help             this text\n";
@@ -108,6 +117,13 @@ main(int argc, char **argv)
             fatal("%s: '%s' is not a number", what.c_str(), s.c_str());
         return unsigned(v);
     };
+    auto parseBudget = [](const std::string &what, const std::string &s) {
+        u64 bytes = 0;
+        if (!TraceRepository::parseBudget(s.c_str(), bytes))
+            fatal("%s: '%s' is not a byte size (try 256M, 2G, 4096)",
+                  what.c_str(), s.c_str());
+        return bytes;
+    };
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--processes")
@@ -126,10 +142,16 @@ main(int argc, char **argv)
                 ways.push_back(parseUnsigned("--ways", w));
         } else if (arg == "--store")
             dopts.storeDir = value(i);
+        else if (arg == "--cache-budget")
+            dopts.cacheBudget = parseBudget("--cache-budget", value(i));
+        else if (arg == "--decoded-budget")
+            dopts.decodedBudget = parseBudget("--decoded-budget", value(i));
         else if (arg == "--journal")
             dopts.journalPath = value(i);
         else if (arg == "--no-batch")
             dopts.batch = false;
+        else if (arg == "--no-decoded")
+            dopts.decoded = false;
         else if (arg == "--check")
             check = true;
         else if (arg == "--verbose")
@@ -156,7 +178,8 @@ main(int argc, char **argv)
     std::cout << "vmmx_sweepd: " << grid.size() << " grid points over "
               << dopts.processes << " worker processes ("
               << (dopts.batch ? "batched trace groups" : "per-point jobs")
-              << ")\n";
+              << ", decoded tier "
+              << (dopts.decoded ? "on" : "off") << ")\n";
     dist::DistStats stats;
     auto results = dist::runSweep(grid.points(), dopts, &stats);
 
@@ -168,11 +191,30 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << '\n' << stats.summary() << '\n';
 
+    // Per-worker repository tier stats.  The "dist-" prefix keeps these
+    // lines (which legitimately differ run to run) easy to filter when
+    // diffing the result table of two runs, as CI does.
+    auto budgetStr = [](u64 b) {
+        return b ? std::to_string(b) + " B" : std::string("unlimited");
+    };
+    std::cout << "dist-budgets: raw " << budgetStr(dopts.cacheBudget)
+              << ", decoded " << budgetStr(dopts.decodedBudget)
+              << " per worker\n";
+    for (size_t wi = 0; wi < stats.perWorker.size(); ++wi) {
+        const auto &w = stats.perWorker[wi];
+        std::cout << "dist-worker " << wi << ": " << w.generations
+                  << " generations, " << w.hits << " raw hits, "
+                  << w.diskLoads << " disk loads, " << w.decodes
+                  << " decodes, " << w.decodedHits << " decoded hits, "
+                  << w.bytesResident / 1024 << " KiB raw + "
+                  << w.decodedBytes / 1024 << " KiB decoded resident\n";
+    }
+
     if (check) {
         SweepOptions serialOpts;
         serialOpts.threads = 1;
-        TraceCache privateCache;
-        serialOpts.cache = &privateCache;
+        TraceRepository privateRepo;
+        serialOpts.repo = &privateRepo;
         Sweep serial(serialOpts);
         serial.addKernelGrid(kernels, kinds, ways);
         serial.addAppGrid(apps, kinds, ways);
