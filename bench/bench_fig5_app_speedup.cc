@@ -3,17 +3,21 @@
  * Figure 5: full-application speed-up for 2/4/8-way machines, all four
  * SIMD flavours, normalised to the 2-way MMX64 run of the same app.
  *
- * The whole (app x flavour x width) grid is submitted as one parallel
- * sweep: each app trace is generated once (trace repository) and the 12
- * machine runs per app proceed concurrently.
+ * The whole (app x flavour x width) grid is one declarative Study --
+ * the in-code twin of specs/fig5.study, which CI diffs this binary's
+ * tables against (both render through Study::writeReport, so the spec
+ * file and the bench cannot drift apart silently).  Each app trace is
+ * generated once (trace repository) and the 12 machine runs per app
+ * proceed concurrently through the thread-pool backend.
  */
 
-#include <cmath>
+#include <iostream>
 
-#include "bench_util.hh"
+#include "apps/app.hh"
+#include "common/logging.hh"
+#include "harness/study.hh"
 
 using namespace vmmx;
-using namespace vmmx::bench;
 
 int
 main()
@@ -22,53 +26,16 @@ main()
     std::cout << "Figure 5: full-application speed-up over the 2-way "
                  "MMX64 baseline\n\n";
 
-    const auto apps = appNames();
-    const std::vector<SimdKind> kinds(allSimdKinds.begin(),
-                                      allSimdKinds.end());
-    const std::vector<unsigned> ways = {2, 4, 8};
+    StudySpec spec;
+    spec.apps = appNames();
+    spec.report.layout = ReportSpec::Layout::Pivot;
+    spec.report.pivot = ReportSpec::Metric::Speedup;
+    spec.report.baselineKind = SimdKind::MMX64;
+    spec.report.baselineWay = 2;
+    spec.report.geomean = true;
 
-    // Submission order: app-major, then kind, then way.
-    Sweep sweep;
-    sweep.addAppGrid(apps, kinds, ways);
-    auto results = sweep.run();
-
-    auto cyclesAt = [&](size_t app, size_t kind, size_t way) {
-        return double(
-            results[(app * kinds.size() + kind) * ways.size() + way]
-                .cycles());
-    };
-
-    std::array<std::array<double, 4>, 3> geoSum{};
-    for (size_t ai = 0; ai < apps.size(); ++ai) {
-        TextTable table({"config", "mmx64", "mmx128", "vmmx64",
-                         "vmmx128"});
-        double base = cyclesAt(ai, size_t(SimdKind::MMX64), 0);
-        for (size_t wi = 0; wi < ways.size(); ++wi) {
-            std::vector<std::string> row = {std::to_string(ways[wi]) +
-                                            "-way"};
-            for (size_t f = 0; f < kinds.size(); ++f) {
-                double sp = base / cyclesAt(ai, f, wi);
-                geoSum[wi][f] += std::log(sp);
-                row.push_back(TextTable::num(sp));
-            }
-            table.addRow(std::move(row));
-        }
-        std::cout << apps[ai] << ":\n";
-        table.print(std::cout);
-        std::cout << '\n';
-    }
-
-    std::cout << "average (geometric mean over the six applications):\n";
-    TextTable avg({"config", "mmx64", "mmx128", "vmmx64", "vmmx128"});
-    for (size_t wi = 0; wi < ways.size(); ++wi) {
-        std::vector<std::string> row = {std::to_string(ways[wi]) +
-                                        "-way"};
-        for (auto kind : allSimdKinds)
-            row.push_back(TextTable::num(
-                std::exp(geoSum[wi][size_t(kind)] / double(apps.size()))));
-        avg.addRow(std::move(row));
-    }
-    avg.print(std::cout);
+    Study study(std::move(spec));
+    study.writeReport(std::cout, study.run());
 
     std::cout << "\nPaper headline checks: mpeg2enc gains the most; a "
                  "2-way VMMX128 is\ncomparable to an 8-way MMX128 on "

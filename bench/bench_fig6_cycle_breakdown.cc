@@ -2,12 +2,20 @@
  * @file
  * Figure 6: dynamic cycle distribution of jpegdec -- vector-region vs
  * scalar cycles, normalised to the 2-way MMX64 total.
+ *
+ * The grid and the normalised breakdown are a declarative Study: the
+ * points-layout report with the *_of_base metrics renders each
+ * configuration's scalar / vector / total cycles as a percentage of the
+ * baseline (2-way mmx64) total -- the Figure 6 shape -- plus the vector
+ * share of each configuration's own runtime.
  */
 
-#include "bench_util.hh"
+#include <iostream>
+
+#include "common/logging.hh"
+#include "harness/study.hh"
 
 using namespace vmmx;
-using namespace vmmx::bench;
 
 int
 main()
@@ -16,25 +24,17 @@ main()
     std::cout << "Figure 6: cycle count distribution, jpegdec "
                  "(normalised to 2-way mmx64 = 100)\n\n";
 
-    double base = 0;
+    StudySpec spec;
+    spec.apps = {"jpegdec"};
+    spec.report.layout = ReportSpec::Layout::Points;
+    spec.report.metrics = {ReportSpec::Metric::ScalarOfBase,
+                           ReportSpec::Metric::VectorOfBase,
+                           ReportSpec::Metric::TotalOfBase,
+                           ReportSpec::Metric::VectorPct};
+    spec.report.precision = 1;
 
-    TextTable table({"config", "scalar", "vector", "total",
-                     "vector %"});
-    for (unsigned way : {2u, 4u, 8u}) {
-        for (auto kind : allSimdKinds) {
-            auto t = time(appTrace("jpegdec", kind), kind, way);
-            double sc = double(t.result.core.scalarCycles);
-            double vc = double(t.result.core.vectorCycles);
-            if (way == 2 && kind == SimdKind::MMX64)
-                base = sc + vc;
-            table.addRow({std::to_string(way) + "-way " + name(kind),
-                          TextTable::num(100.0 * sc / base, 1),
-                          TextTable::num(100.0 * vc / base, 1),
-                          TextTable::num(100.0 * (sc + vc) / base, 1),
-                          TextTable::num(100.0 * vc / (sc + vc), 1)});
-        }
-    }
-    table.print(std::cout);
+    Study study(std::move(spec));
+    study.writeReport(std::cout, study.run());
 
     std::cout << "\nPaper headline checks: VMMX128 removes most of the "
                  "2-way MMX64 vector-region\ntime; on the 8-way VMMX128 "

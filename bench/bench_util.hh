@@ -4,11 +4,12 @@
  * kernel or app trace for a flavour and time it on a Table III/IV
  * machine.
  *
- * Traces are resolved through the process-wide vmmx::TraceRepository,
- * so a bench that touches the same (workload, flavour) many times --
- * every multi-way sweep does -- generates each trace exactly once.  The
- * helpers hand out references, so the first handle seen for a key is
- * kept alive here for the process lifetime; its RAII pin makes the
+ * Traces are resolved through the repository an ExecutionPolicy names
+ * (the process-wide vmmx::TraceRepository by default), so a bench that
+ * touches the same (workload, flavour) many times -- every multi-way
+ * sweep does -- generates each trace exactly once.  The helpers hand
+ * out references, so the first handle seen for a (repository, key) pair
+ * is kept alive here for the process lifetime; its RAII pin makes the
  * repository's eviction skip the entry even under a tiny
  * VMMX_TRACE_CACHE_BUDGET, so the references stay stable with no
  * re-materialization churn.  All helpers are safe to call from sweep
@@ -26,7 +27,8 @@
 
 #include "apps/app.hh"
 #include "common/table.hh"
-#include "harness/sweep.hh"
+#include "harness/executor.hh"
+#include "harness/study.hh"
 #include "kernels/kernel.hh"
 #include "trace/trace_repo.hh"
 
@@ -40,43 +42,49 @@ struct TimedRun
     std::array<u64, numInstClasses> instByClass{};
 };
 
-/** Trace-by-reference lookup, pinned for the process lifetime. */
+/** Trace-by-reference lookup, pinned for the process lifetime.  The
+ *  trace resolves through @p policy's repository, so a bench running
+ *  against a private repository gets (and pins) entries there, not in
+ *  the process-wide instance; the pin map keys on the repository too,
+ *  so the same trace may be pinned once per repository. */
 inline const std::vector<InstRecord> &
-pinnedTrace(bool isApp, const std::string &name, SimdKind kind)
+pinnedTrace(bool isApp, const std::string &name, SimdKind kind,
+            const ExecutionPolicy &policy = {})
 {
+    TraceRepository &repo = policy.repository();
+    using Key = std::tuple<TraceRepository *, bool, std::string, SimdKind>;
     static std::mutex mu;
-    static std::map<std::tuple<bool, std::string, SimdKind>,
-                    TraceRepository::TraceHandle>
-        pinned;
+    static std::map<Key, TraceRepository::TraceHandle> pinned;
     {
         std::lock_guard<std::mutex> lock(mu);
-        auto it = pinned.find({isApp, name, kind});
+        auto it = pinned.find({&repo, isApp, name, kind});
         if (it != pinned.end())
             return *it->second;
     }
     // Resolve outside the map lock so distinct traces generate in
     // parallel; a lost race just drops the duplicate handle.
     TraceRepository::TraceHandle h =
-        isApp ? TraceRepository::instance().app(name, kind)
-              : TraceRepository::instance().kernel(name, kind);
+        isApp ? repo.app(name, kind) : repo.kernel(name, kind);
     std::lock_guard<std::mutex> lock(mu);
     auto [it, inserted] =
-        pinned.try_emplace({isApp, name, kind}, std::move(h));
+        pinned.try_emplace({&repo, isApp, name, kind}, std::move(h));
     return *it->second;
 }
 
-/** Kernel trace for (name, kind), pinned in the process repository. */
+/** Kernel trace for (name, kind), pinned in the policy's repository. */
 inline const std::vector<InstRecord> &
-kernelTrace(const std::string &kernel, SimdKind kind)
+kernelTrace(const std::string &kernel, SimdKind kind,
+            const ExecutionPolicy &policy = {})
 {
-    return pinnedTrace(false, kernel, kind);
+    return pinnedTrace(false, kernel, kind, policy);
 }
 
-/** App trace for (name, kind), pinned in the process repository. */
+/** App trace for (name, kind), pinned in the policy's repository. */
 inline const std::vector<InstRecord> &
-appTrace(const std::string &app, SimdKind kind)
+appTrace(const std::string &app, SimdKind kind,
+         const ExecutionPolicy &policy = {})
 {
-    return pinnedTrace(true, app, kind);
+    return pinnedTrace(true, app, kind, policy);
 }
 
 inline TimedRun

@@ -5,21 +5,20 @@
  * paper's headline observation that a narrow matrix machine competes
  * with a much wider 1-D machine.
  *
- * The whole (flavour x width) grid runs through the batched sweep
- * engine: the points are grouped by trace -- one group of three widths
- * per flavour -- and each group is dispatched as a single
- * runTraceBatch() pass, so every flavour's mpeg2enc trace is generated
- * once in the shared trace repository and then decoded once process-wide
- * while all three machine widths step against it.  (Set
- * VMMX_SWEEP_BATCH=0 to fall back to one job per point; the results
- * are bit-identical either way.)
+ * Written against the declarative Study API: the first study is the
+ * (flavour x width) grid with a pivot speed-up report, the second is an
+ * ROB ablation expressed as override sets (the specs/rob_ablation.study
+ * shape, built in code here).  Both run through the pluggable executor
+ * backends -- flip `backend` to Backend::Process and the same spec
+ * shards across worker processes, bit-identically.  The printed spec
+ * text round-trips through Study::fromSpecText, so either study can be
+ * saved to a file and rerun with tools/vmmx_study.
  */
 
 #include <iostream>
 
 #include "common/logging.hh"
-#include "common/table.hh"
-#include "harness/sweep.hh"
+#include "harness/study.hh"
 
 using namespace vmmx;
 
@@ -27,62 +26,63 @@ int
 main()
 {
     setQuiet(true);
-    std::cout << "mpeg2enc cycles by flavour and machine width\n\n";
+    std::cout << "mpeg2enc speed-up by flavour and machine width\n\n";
 
-    const std::vector<unsigned> ways = {2, 4, 8};
-    Sweep sweep;
-    for (auto kind : allSimdKinds) {
-        // Keep this example's historical input seed (5, not the bench
-        // default) by resolving the trace explicitly; the repository
-        // still memoizes it across the three widths, and the decoded
-        // tier shares one decode across them.
-        auto trace = TraceRepository::instance().app(
-            "mpeg2enc", kind, TraceRepository::appImageBytes, 5);
-        for (unsigned way : ways)
-            sweep.addTrace(trace.shared(), kind, way, "mpeg2enc");
-    }
-    auto results = sweep.run();
+    // Note: earlier revisions of this example resolved the mpeg2enc
+    // trace with an explicit input seed of 5; the declarative grid uses
+    // the repository default seed, so absolute cycle counts differ from
+    // runs of the old example (speed-up ratios tell the same story).
+    StudySpec spec;
+    spec.title = "mpeg2enc scaling study";
+    spec.apps = {"mpeg2enc"};
+    spec.report.layout = ReportSpec::Layout::Pivot;
+    spec.report.pivot = ReportSpec::Metric::Speedup;
 
-    TextTable table({"flavour", "insts", "2-way", "4-way", "8-way",
-                     "8-way IPC"});
-    double base = 0;
-    for (size_t f = 0; f < allSimdKinds.size(); ++f) {
-        const auto *runs = &results[f * ways.size()];
-        std::vector<std::string> row = {
-            name(allSimdKinds[f]), std::to_string(runs[0].traceLength)};
-        for (size_t wi = 0; wi < ways.size(); ++wi)
-            row.push_back(std::to_string(runs[wi].cycles()));
-        if (allSimdKinds[f] == SimdKind::MMX64)
-            base = double(runs[0].cycles());
-        row.push_back(TextTable::num(runs[ways.size() - 1].result.core.ipc()));
-        table.addRow(std::move(row));
-    }
-    table.print(std::cout);
-    std::cout << "\n(speed-ups vs the 2-way mmx64 baseline of "
-              << u64(base) << " cycles; see bench_fig5 for all apps)\n";
+    // The grid points replaying one trace form a single batched group:
+    // each flavour's mpeg2enc trace is generated once in the shared
+    // trace repository and decoded once process-wide while all three
+    // machine widths step against it.
+    Study study(spec);
+    auto results = study.run();
+    study.writeReport(std::cout, results);
 
-    // The batched API directly: replay one trace against a whole span
-    // of machine configurations in a single pass -- here an ROB
-    // sensitivity study on the 8-way matrix machine.  The decoded
-    // handle comes straight from the repository's tier 2, so this pass
-    // does not even decode: the sweep above already paid that once.
-    auto trace = TraceRepository::instance().app(
-        "mpeg2enc", SimdKind::VMMX128, TraceRepository::appImageBytes, 5);
-    auto stream = TraceRepository::instance().decoded(trace.shared());
-    std::vector<MachineConfig> machines;
-    const std::vector<s64> robSizes = {16, 32, 64, 128};
-    for (s64 rob : robSizes) {
+    std::cout << "\n(speed-ups vs the 2-way mmx64 baseline; see "
+                 "bench_fig5 for all apps)\n";
+
+    // The same grid restated as IPC per point -- no re-run, just a
+    // different report over the same results.
+    study.spec().report.layout = ReportSpec::Layout::Points;
+    study.spec().report.metrics = {ReportSpec::Metric::Cycles,
+                                   ReportSpec::Metric::Ipc,
+                                   ReportSpec::Metric::Speedup};
+    std::cout << '\n';
+    study.writeReport(std::cout, results);
+
+    // An ablation grid: override sets replicate the (workload, kind,
+    // way) point once per knob setting -- an ROB sensitivity study on
+    // the 8-way matrix machine, all four depths in one batched trace
+    // pass.  This is specs/rob_ablation.study built in code.
+    StudySpec ablation;
+    ablation.title = "ROB sensitivity, 8-way vmmx128 mpeg2enc";
+    ablation.apps = {"mpeg2enc"};
+    ablation.kinds = {SimdKind::VMMX128};
+    ablation.ways = {8};
+    for (s64 rob : {16, 32, 64, 128}) {
         Config knobs;
         knobs.set("core.rob", rob);
-        machines.push_back(makeMachine(SimdKind::VMMX128, 8, knobs));
+        ablation.overrideSets.push_back(knobs);
     }
-    auto runs = runTraceBatch(machines, stream.stream());
+    ablation.report.layout = ReportSpec::Layout::Points;
+    ablation.report.metrics = {ReportSpec::Metric::Cycles,
+                               ReportSpec::Metric::Ipc};
 
+    Study robStudy(ablation);
     std::cout << "\nROB sensitivity (8-way vmmx128, one batched pass):\n";
-    for (size_t i = 0; i < runs.size(); ++i) {
-        std::cout << "  rob=" << robSizes[i] << ": " << runs[i].cycles()
-                  << " cycles, IPC " << TextTable::num(runs[i].core.ipc())
-                  << '\n';
-    }
+    robStudy.writeReport(std::cout, robStudy.run());
+
+    // Declarative means serializable: the spec below can be written to
+    // a file and replayed byte-identically with tools/vmmx_study.
+    std::cout << "\nspec file for the ablation study:\n\n"
+              << robStudy.specText();
     return 0;
 }

@@ -55,6 +55,9 @@ class Config
     /** All keys in sorted order (for dumping). */
     std::vector<std::string> keys() const;
 
+    /** Key/value equality (override-set and spec round-trip checks). */
+    bool operator==(const Config &o) const = default;
+
   private:
     std::map<std::string, std::string> values_;
 };

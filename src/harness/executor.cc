@@ -1,0 +1,246 @@
+#include "harness/executor.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "dist/driver.hh"
+
+namespace vmmx
+{
+
+namespace
+{
+
+/** Raw (tier-1) trace of @p point, pinned while borrowed. */
+TraceRepository::TraceHandle
+resolveRaw(const SweepPoint &point, TraceRepository &repo)
+{
+    if (point.workload == SweepPoint::Workload::Trace)
+        return TraceRepository::TraceHandle(point.trace);
+    return repo.raw(traceKeyFor(point));
+}
+
+/** Decoded (tier-2) stream of @p point, pinned while borrowed. */
+TraceRepository::DecodedHandle
+resolveDecoded(const SweepPoint &point, TraceRepository &repo)
+{
+    if (point.workload == SweepPoint::Workload::Trace)
+        return repo.decoded(point.trace);
+    return repo.decoded(traceKeyFor(point));
+}
+
+/** Resolve @p lead's trace once (decoded tier or raw) and replay it on
+ *  every machine; the single tier-dispatch site. */
+std::vector<RunResult>
+resolveAndRun(const SweepPoint &lead, std::span<const MachineConfig> machines,
+              TraceRepository &repo, bool useDecoded, u64 &traceLength)
+{
+    if (useDecoded) {
+        TraceRepository::DecodedHandle stream = resolveDecoded(lead, repo);
+        traceLength = stream.records();
+        return runTraceBatch(machines, stream.stream());
+    }
+    TraceRepository::TraceHandle trace = resolveRaw(lead, repo);
+    traceLength = trace->size();
+    return runTraceBatch(machines, *trace);
+}
+
+/** The resolved thread count of @p policy, capped at @p units. */
+unsigned
+effectiveThreads(const ExecutionPolicy &policy, size_t units)
+{
+    unsigned threads = policy.threads;
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    return std::min<unsigned>(threads, unsigned(units));
+}
+
+std::vector<u32>
+allIndices(size_t n)
+{
+    std::vector<u32> all(n);
+    for (u32 i = 0; i < all.size(); ++i)
+        all[i] = i;
+    return all;
+}
+
+} // namespace
+
+ExecutionPolicy
+ExecutionPolicy::fromEnv()
+{
+    ExecutionPolicy p;
+    p.batch = env::flag("VMMX_SWEEP_BATCH", p.batch);
+    p.decoded = env::flag("VMMX_SWEEP_DECODED", p.decoded);
+    p.rawBudget = env::byteSize("VMMX_TRACE_CACHE_BUDGET");
+    p.decodedBudget = env::byteSize("VMMX_DECODED_CACHE_BUDGET");
+    p.storeDir = env::str("VMMX_TRACE_STORE");
+    return p;
+}
+
+TraceRepository &
+ExecutionPolicy::repository() const
+{
+    return repo ? *repo : TraceRepository::instance();
+}
+
+const char *
+name(ExecutionPolicy::Backend b)
+{
+    switch (b) {
+      case ExecutionPolicy::Backend::Serial: return "serial";
+      case ExecutionPolicy::Backend::ThreadPool: return "threads";
+      case ExecutionPolicy::Backend::Process: return "processes";
+    }
+    panic("bad backend %d", int(b));
+}
+
+bool
+parseBackend(const std::string &text, ExecutionPolicy::Backend &b)
+{
+    if (text == "serial")
+        b = ExecutionPolicy::Backend::Serial;
+    else if (text == "threads")
+        b = ExecutionPolicy::Backend::ThreadPool;
+    else if (text == "processes")
+        b = ExecutionPolicy::Backend::Process;
+    else
+        return false;
+    return true;
+}
+
+SweepResult
+runSweepPoint(const SweepPoint &point, const ExecutionPolicy &policy,
+              bool useDecoded)
+{
+    MachineConfig machine = makeMachine(point.kind, point.way,
+                                        point.overrides);
+    SweepResult r;
+    r.point = point;
+    r.result = resolveAndRun(point, {&machine, 1}, policy.repository(),
+                             useDecoded, r.traceLength)[0];
+    return r;
+}
+
+void
+runSweepUnit(const std::vector<SweepPoint> &points,
+             const std::vector<u32> &unit, const ExecutionPolicy &policy,
+             std::vector<SweepResult> &results)
+{
+    if (!policy.batch) {
+        results[unit[0]] = runSweepPoint(points[unit[0]], policy,
+                                         policy.decoded);
+        return;
+    }
+    // One trace resolution and one trace pass for the whole group; with
+    // the decoded tier on, even the decode happened at most once per
+    // process, not once per group.
+    std::vector<MachineConfig> machines;
+    machines.reserve(unit.size());
+    for (u32 i : unit)
+        machines.push_back(makeMachine(points[i].kind, points[i].way,
+                                       points[i].overrides));
+    u64 traceLength = 0;
+    std::vector<RunResult> runs =
+        resolveAndRun(points[unit[0]], machines, policy.repository(),
+                      policy.decoded, traceLength);
+    for (size_t k = 0; k < unit.size(); ++k) {
+        SweepResult &r = results[unit[k]];
+        r.point = points[unit[k]];
+        r.traceLength = traceLength;
+        r.result = runs[k];
+    }
+}
+
+std::vector<SweepResult>
+SerialExecutor::run(const std::vector<SweepPoint> &points,
+                    const ExecutionPolicy &policy) const
+{
+    std::vector<std::vector<u32>> units =
+        buildSweepUnits(points, allIndices(points.size()), policy.batch);
+    std::vector<SweepResult> results(points.size());
+    for (const auto &unit : units)
+        runSweepUnit(points, unit, policy, results);
+    return results;
+}
+
+std::vector<SweepResult>
+ThreadPoolExecutor::run(const std::vector<SweepPoint> &points,
+                        const ExecutionPolicy &policy) const
+{
+    std::vector<std::vector<u32>> units =
+        buildSweepUnits(points, allIndices(points.size()), policy.batch);
+    unsigned threads = effectiveThreads(policy, units.size());
+
+    if (threads <= 1) {
+        std::vector<SweepResult> results(points.size());
+        for (const auto &unit : units)
+            runSweepUnit(points, unit, policy, results);
+        return results;
+    }
+
+    // Units are independent (per-configuration MemorySystem/SimContext,
+    // immutable shared trace artifacts); workers pull the next undone
+    // unit and write into its submission-order slots, so the result
+    // vector is deterministic.
+    std::vector<SweepResult> results(points.size());
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+        for (size_t u = next.fetch_add(1); u < units.size();
+             u = next.fetch_add(1))
+            runSweepUnit(points, units[u], policy, results);
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+    return results;
+}
+
+std::vector<SweepResult>
+ProcessExecutor::run(const std::vector<SweepPoint> &points,
+                     const ExecutionPolicy &policy) const
+{
+    dist::DistOptions dopts;
+    dopts.processes = policy.processes;
+    dopts.storeDir = policy.storeDir;
+    dopts.cacheBudget = policy.rawBudget;
+    dopts.decodedBudget = policy.decodedBudget;
+    dopts.journalPath = policy.journalPath;
+    dopts.batch = policy.batch;
+    dopts.decoded = policy.decoded;
+    dopts.execPath = policy.execPath;
+    dopts.execArgs = policy.execArgs;
+    return dist::runSweep(points, dopts, policy.distStats);
+}
+
+const Executor &
+executorFor(ExecutionPolicy::Backend backend)
+{
+    static const SerialExecutor serial;
+    static const ThreadPoolExecutor threads;
+    static const ProcessExecutor processes;
+    switch (backend) {
+      case ExecutionPolicy::Backend::Serial: return serial;
+      case ExecutionPolicy::Backend::ThreadPool: return threads;
+      case ExecutionPolicy::Backend::Process: return processes;
+    }
+    panic("bad backend %d", int(backend));
+}
+
+std::vector<SweepResult>
+runPoints(const std::vector<SweepPoint> &points,
+          const ExecutionPolicy &policy)
+{
+    return executorFor(policy.backend).run(points, policy);
+}
+
+} // namespace vmmx

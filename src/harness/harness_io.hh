@@ -1,11 +1,20 @@
 /**
  * @file
- * Wire serialization hooks for the harness types that cross the
- * driver/worker process boundary: Config (ablation overrides), RunStats
- * and RunResult (the payload of a finished grid point), and SweepPoint
- * (a job description, including the trace payload for explicit-trace
- * points).  All round-trips are bit-exact; RunResult equality after a
- * decode is the basis of the distributed determinism guarantee.
+ * Serialization hooks for the harness types that cross a process or
+ * file boundary, in two flavours:
+ *
+ * Wire codecs for the driver/worker protocol: Config (ablation
+ * overrides), RunStats and RunResult (the payload of a finished grid
+ * point), and SweepPoint (a job description, including the trace
+ * payload for explicit-trace points).  All round-trips are bit-exact;
+ * RunResult equality after a decode is the basis of the distributed
+ * determinism guarantee.
+ *
+ * The text codec for StudySpec files: a line-based key = value format
+ * with [grid]/[exec]/[report] sections (see README "Studies").
+ * formatStudySpec() emits the canonical form, and parse(format(spec))
+ * reproduces the spec exactly -- the round-trip contract of
+ * tests/test_study.cc.
  */
 
 #ifndef VMMX_HARNESS_HARNESS_IO_HH
@@ -14,6 +23,7 @@
 #include "common/config.hh"
 #include "dist/wire.hh"
 #include "harness/runner.hh"
+#include "harness/study.hh"
 #include "harness/sweep.hh"
 
 namespace vmmx
@@ -30,6 +40,19 @@ bool deserialize(wire::Reader &r, RunResult &res);
 
 void serialize(wire::Writer &w, const SweepPoint &p);
 bool deserialize(wire::Reader &r, SweepPoint &p);
+
+/** The canonical spec-file text of @p spec (all keys, all sections). */
+std::string formatStudySpec(const StudySpec &spec);
+
+/**
+ * Parse spec-file text into @p spec.  Unlisted keys keep their
+ * defaults (including the environment-derived ExecutionPolicy
+ * defaults); unknown sections, unknown keys, and malformed values fail
+ * with a "line N: ..." message in @p err.  @p spec is meaningful only
+ * when the parse succeeds.
+ */
+bool parseStudySpec(const std::string &text, StudySpec &spec,
+                    std::string &err);
 
 } // namespace vmmx
 

@@ -1,43 +1,25 @@
 #include "harness/sweep.hh"
 
-#include <atomic>
-#include <cstdlib>
-#include <cstring>
 #include <map>
-#include <thread>
 #include <tuple>
 
+#include "common/env.hh"
 #include "common/logging.hh"
-#include "dist/driver.hh"
+#include "harness/executor.hh"
 
 namespace vmmx
 {
 
-namespace
-{
-
-bool
-envFlagDefaultOn(const char *var)
-{
-    const char *env = std::getenv(var);
-    if (!env)
-        return true;
-    return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
-             std::strcmp(env, "false") == 0);
-}
-
-} // namespace
-
 bool
 sweepBatchFromEnv()
 {
-    return envFlagDefaultOn("VMMX_SWEEP_BATCH");
+    return env::flag("VMMX_SWEEP_BATCH", true);
 }
 
 bool
 sweepDecodedFromEnv()
 {
-    return envFlagDefaultOn("VMMX_SWEEP_DECODED");
+    return env::flag("VMMX_SWEEP_DECODED", true);
 }
 
 std::string
@@ -167,79 +149,25 @@ Sweep::addAppGrid(const std::vector<std::string> &names,
     return *this;
 }
 
-TraceRepository &
-Sweep::repo() const
+ExecutionPolicy
+Sweep::policy() const
 {
-    return opts_.repo ? *opts_.repo : TraceRepository::instance();
-}
-
-TraceRepository::TraceHandle
-Sweep::resolveRaw(const SweepPoint &point) const
-{
-    if (point.workload == SweepPoint::Workload::Trace)
-        return TraceRepository::TraceHandle(point.trace);
-    return repo().raw(traceKeyFor(point));
-}
-
-TraceRepository::DecodedHandle
-Sweep::resolveDecoded(const SweepPoint &point) const
-{
-    if (point.workload == SweepPoint::Workload::Trace)
-        return repo().decoded(point.trace);
-    return repo().decoded(traceKeyFor(point));
-}
-
-std::vector<RunResult>
-Sweep::resolveAndRun(const SweepPoint &lead,
-                     std::span<const MachineConfig> machines,
-                     bool useDecoded, u64 &traceLength) const
-{
-    // The one place that picks a trace tier and replays it: resolve
-    // lead's trace once (decoded tier-2 stream, or raw with on-the-fly
-    // decode) and step every machine through it.
-    if (useDecoded) {
-        TraceRepository::DecodedHandle stream = resolveDecoded(lead);
-        traceLength = stream.records();
-        return runTraceBatch(machines, stream.stream());
-    }
-    TraceRepository::TraceHandle trace = resolveRaw(lead);
-    traceLength = trace->size();
-    return runTraceBatch(machines, *trace);
-}
-
-SweepResult
-Sweep::runPoint(const SweepPoint &point, bool useDecoded) const
-{
-    MachineConfig machine = makeMachine(point.kind, point.way,
-                                        point.overrides);
-    SweepResult r;
-    r.point = point;
-    r.result = resolveAndRun(point, {&machine, 1}, useDecoded,
-                             r.traceLength)[0];
-    return r;
-}
-
-void
-Sweep::runGroup(const std::vector<u32> &group,
-                std::vector<SweepResult> &results) const
-{
-    // One trace resolution and one trace pass for the whole group; with
-    // the decoded tier on, even the decode happened at most once per
-    // process, not once per group.
-    std::vector<MachineConfig> machines;
-    machines.reserve(group.size());
-    for (u32 i : group)
-        machines.push_back(makeMachine(points_[i].kind, points_[i].way,
-                                       points_[i].overrides));
-    u64 traceLength = 0;
-    std::vector<RunResult> runs = resolveAndRun(
-        points_[group[0]], machines, opts_.decoded, traceLength);
-    for (size_t k = 0; k < group.size(); ++k) {
-        SweepResult &r = results[group[k]];
-        r.point = points_[group[k]];
-        r.traceLength = traceLength;
-        r.result = runs[k];
-    }
+    // fromEnv() keeps the legacy defaults (budgets, store) for knobs
+    // SweepOptions never carried; the explicit options win elsewhere.
+    ExecutionPolicy policy = ExecutionPolicy::fromEnv();
+    policy.backend = opts_.processes > 0
+                         ? ExecutionPolicy::Backend::Process
+                         : ExecutionPolicy::Backend::ThreadPool;
+    policy.threads = opts_.threads;
+    policy.processes = opts_.processes;
+    policy.batch = opts_.batch;
+    policy.decoded = opts_.decoded;
+    policy.repo = opts_.repo;
+    if (!opts_.storeDir.empty())
+        policy.storeDir = opts_.storeDir;
+    policy.journalPath = opts_.journalPath;
+    policy.distStats = opts_.distStats;
+    return policy;
 }
 
 std::vector<SweepResult>
@@ -248,76 +176,19 @@ Sweep::runSerial() const
     // The determinism baseline: per-point jobs that decode on the fly,
     // bypassing the decoded tier entirely (but still resolving raw
     // traces through the repository).
+    ExecutionPolicy serial = policy();
     std::vector<SweepResult> results;
     results.reserve(points_.size());
     for (const auto &point : points_)
-        results.push_back(runPoint(point, /*useDecoded=*/false));
+        results.push_back(runSweepPoint(point, serial,
+                                        /*useDecoded=*/false));
     return results;
 }
 
 std::vector<SweepResult>
 Sweep::run() const
 {
-    if (opts_.processes > 0) {
-        dist::DistOptions dopts;
-        dopts.processes = opts_.processes;
-        dopts.storeDir = opts_.storeDir;
-        dopts.journalPath = opts_.journalPath;
-        dopts.batch = opts_.batch;
-        dopts.decoded = opts_.decoded;
-        return dist::runSweep(points_, dopts, opts_.distStats);
-    }
-
-    // The schedulable unit is a trace group (batched, the default) or a
-    // single point (batch off).
-    std::vector<u32> all(points_.size());
-    for (u32 i = 0; i < all.size(); ++i)
-        all[i] = i;
-    std::vector<std::vector<u32>> units =
-        buildSweepUnits(points_, all, opts_.batch);
-
-    unsigned threads = opts_.threads;
-    if (threads == 0) {
-        threads = std::thread::hardware_concurrency();
-        if (threads == 0)
-            threads = 1;
-    }
-    threads = std::min<unsigned>(threads, unsigned(units.size()));
-
-    if (threads <= 1) {
-        std::vector<SweepResult> results(points_.size());
-        for (const auto &unit : units) {
-            if (opts_.batch)
-                runGroup(unit, results);
-            else
-                results[unit[0]] = runPoint(points_[unit[0]], opts_.decoded);
-        }
-        return results;
-    }
-
-    // Jobs are independent (per-configuration MemorySystem/SimContext,
-    // immutable shared trace artifacts); workers pull the next undone
-    // unit and write into its submission-order slots, so the result
-    // vector is deterministic.
-    std::vector<SweepResult> results(points_.size());
-    std::atomic<size_t> next{0};
-    auto worker = [&]() {
-        for (size_t u = next.fetch_add(1); u < units.size();
-             u = next.fetch_add(1)) {
-            if (opts_.batch)
-                runGroup(units[u], results);
-            else
-                results[units[u][0]] = runPoint(points_[units[u][0]], opts_.decoded);
-        }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t)
-        pool.emplace_back(worker);
-    for (auto &th : pool)
-        th.join();
-    return results;
+    return runPoints(points_, policy());
 }
 
 std::vector<SweepResult>

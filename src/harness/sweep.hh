@@ -1,28 +1,23 @@
 /**
  * @file
- * Parallel sweep engine for (workload x SIMD flavour x machine) studies.
+ * Grid-point vocabulary (SweepPoint/SweepResult), the shared unit
+ * scheduler (buildSweepUnits), and the legacy Sweep front end.
  *
- * Every figure in the paper is a sweep: the same few traces replayed on a
- * grid of machine configurations.  A Sweep collects the grid points,
- * resolves each point's trace through the shared TraceRepository (so a trace
- * is generated once per process, not once per point), and fans the
- * independent jobs across a thread pool.
+ * Every figure in the paper is a sweep: the same few traces replayed on
+ * a grid of machine configurations.  The execution machinery lives in
+ * harness/executor.* (pluggable Serial/ThreadPool/Process backends over
+ * one ExecutionPolicy) with the declarative front end in
+ * harness/study.* -- new code should start there.  Sweep remains as a
+ * thin compatibility wrapper for one release: it still collects grid
+ * points imperatively and its run() maps SweepOptions onto an
+ * ExecutionPolicy and dispatches through the same executors, so the old
+ * and new APIs are bit-identical by construction.
  *
- * By default the engine runs *batched*: grid points are grouped by the
- * trace they replay, and each group executes as one runTraceBatch() call
- * that streams the trace once while stepping every configuration of the
- * group against each record.  On top of that, jobs resolve their trace
- * as a *decoded* tier-2 stream from the TraceRepository, so the
- * per-record decode is paid once per process -- every group (and every
- * thread) replaying the same trace shares one DecodedStream.
- * SweepOptions::batch (env VMMX_SWEEP_BATCH=0 to disable) falls back to
- * one runTrace() job per point; SweepOptions::decoded (env
- * VMMX_SWEEP_DECODED=0 to disable) falls back to decoding on the fly
- * inside each job.  Either way, MemorySystem and SimContext state is
- * private per configuration and the shared trace artifacts (raw and
- * decoded) are immutable, so results are bit-identical to the serial
- * per-point loop and are returned in submission order regardless of the
- * execution interleaving.
+ * What this header still owns outright is the scheduling vocabulary
+ * shared by every backend: points are grouped by the trace they replay
+ * (groupPointsByTrace) and formed into schedulable units
+ * (buildSweepUnits) -- whole trace groups when batching, single points
+ * otherwise -- so all backends always shard the same way.
  */
 
 #ifndef VMMX_HARNESS_SWEEP_HH
@@ -43,6 +38,8 @@ namespace dist
 {
 struct DistStats;
 }
+
+struct ExecutionPolicy; // harness/executor.hh
 
 /** One grid point: a trace source plus the machine that replays it. */
 struct SweepPoint
@@ -87,14 +84,17 @@ struct SweepResult
     }
 };
 
-/** Default for SweepOptions::batch: true unless $VMMX_SWEEP_BATCH is
- *  "0", "off" or "false". */
+/** Default for SweepOptions::batch: $VMMX_SWEEP_BATCH via env::flag()
+ *  (common/env.hh, the one environment parser); unset = on. */
 bool sweepBatchFromEnv();
 
-/** Default for SweepOptions::decoded: true unless $VMMX_SWEEP_DECODED
- *  is "0", "off" or "false". */
+/** Default for SweepOptions::decoded: $VMMX_SWEEP_DECODED via
+ *  env::flag(); unset = on. */
 bool sweepDecodedFromEnv();
 
+/** Legacy execution knobs; Sweep::run() maps these onto an
+ *  ExecutionPolicy (harness/executor.hh), which new code should use
+ *  directly. */
 struct SweepOptions
 {
     /** Worker threads; 0 picks std::thread::hardware_concurrency(). */
@@ -152,6 +152,10 @@ std::vector<std::vector<u32>>
 buildSweepUnits(const std::vector<SweepPoint> &points,
                 const std::vector<u32> &subset, bool batch);
 
+/**
+ * Imperative grid builder and runner (compatibility wrapper over the
+ * Study/Executor machinery; see the file comment).
+ */
 class Sweep
 {
   public:
@@ -192,25 +196,9 @@ class Sweep
     std::vector<SweepResult> runSerial() const;
 
   private:
-    /** Resolve @p lead's trace once (decoded tier or raw) and replay it
-     *  on every machine; the single tier-dispatch site. */
-    std::vector<RunResult> resolveAndRun(const SweepPoint &lead,
-                                         std::span<const MachineConfig>
-                                             machines,
-                                         bool useDecoded,
-                                         u64 &traceLength) const;
-    /** Run one point; @p useDecoded false forces the decode-on-the-fly
-     *  reference path regardless of SweepOptions::decoded. */
-    SweepResult runPoint(const SweepPoint &point, bool useDecoded) const;
-    /** Run one trace group batched; writes into submission slots. */
-    void runGroup(const std::vector<u32> &group,
-                  std::vector<SweepResult> &results) const;
-    TraceRepository &repo() const;
-    /** Raw (tier-1) trace of @p point, pinned while borrowed. */
-    TraceRepository::TraceHandle resolveRaw(const SweepPoint &point) const;
-    /** Decoded (tier-2) stream of @p point, pinned while borrowed. */
-    TraceRepository::DecodedHandle
-    resolveDecoded(const SweepPoint &point) const;
+    /** The ExecutionPolicy equivalent of opts_ (fromEnv() defaults with
+     *  the explicit options layered on top). */
+    ExecutionPolicy policy() const;
 
     SweepOptions opts_;
     std::vector<SweepPoint> points_;

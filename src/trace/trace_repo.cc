@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "apps/app.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/memimage.hh"
 #include "common/rng.hh"
@@ -151,39 +152,13 @@ TraceRepository::instance()
 bool
 TraceRepository::parseBudget(const char *text, u64 &bytes)
 {
-    if (!text || !*text)
-        return false;
-    // strtoull would silently wrap a leading '-' to a huge budget.
-    if (text[0] == '-')
-        return false;
-    char *end = nullptr;
-    u64 v = std::strtoull(text, &end, 0);
-    if (end == text)
-        return false;
-    switch (*end) {
-      case 'k': case 'K': v <<= 10; ++end; break;
-      case 'm': case 'M': v <<= 20; ++end; break;
-      case 'g': case 'G': v <<= 30; ++end; break;
-      default: break;
-    }
-    if (*end != '\0')
-        return false;
-    bytes = v;
-    return true;
+    return env::parseByteSize(text, bytes);
 }
 
 u64
 TraceRepository::budgetFromEnv(const char *envVar)
 {
-    const char *env = std::getenv(envVar);
-    if (!env || !*env)
-        return 0;
-    u64 bytes = 0;
-    if (!parseBudget(env, bytes)) {
-        warn("ignoring unparsable %s='%s'", envVar, env);
-        return 0;
-    }
-    return bytes;
+    return env::byteSize(envVar);
 }
 
 void

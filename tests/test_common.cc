@@ -5,9 +5,11 @@
  */
 
 #include <gtest/gtest.h>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/config.hh"
+#include "common/env.hh"
 #include "common/memimage.hh"
 #include "common/rng.hh"
 #include "common/saturate.hh"
@@ -159,6 +161,109 @@ TEST(RfModel, MatrixStorageExceedsMmx)
         EXPECT_GT(RfDesign::forMachine(SimdKind::VMMX64, way).storageKB(),
                   RfDesign::forMachine(SimdKind::MMX128, way).storageKB());
     }
+}
+
+// ---- the one environment parser (common/env.hh) --------------------------
+
+TEST(Env, ParseFlagAcceptsTheDocumentedSpellings)
+{
+    bool v = false;
+    for (const char *t : {"1", "on", "true", "yes"}) {
+        v = false;
+        EXPECT_TRUE(env::parseFlag(t, v)) << t;
+        EXPECT_TRUE(v) << t;
+    }
+    for (const char *t : {"0", "off", "false", "no"}) {
+        v = true;
+        EXPECT_TRUE(env::parseFlag(t, v)) << t;
+        EXPECT_FALSE(v) << t;
+    }
+}
+
+TEST(Env, ParseFlagRejectsGarbage)
+{
+    bool v = true;
+    for (const char *t : {"", "maybe", "ON", "2", "-1", "on "}) {
+        EXPECT_FALSE(env::parseFlag(t, v)) << "'" << t << "'";
+        EXPECT_TRUE(v) << t; // untouched on failure
+    }
+    EXPECT_FALSE(env::parseFlag(nullptr, v));
+}
+
+TEST(Env, ParseByteSizeSuffixesAndBounds)
+{
+    u64 b = 0;
+    EXPECT_TRUE(env::parseByteSize("4096", b));
+    EXPECT_EQ(b, 4096u);
+    EXPECT_TRUE(env::parseByteSize("64k", b));
+    EXPECT_EQ(b, u64(64) << 10);
+    EXPECT_TRUE(env::parseByteSize("64K", b));
+    EXPECT_EQ(b, u64(64) << 10);
+    EXPECT_TRUE(env::parseByteSize("3M", b));
+    EXPECT_EQ(b, u64(3) << 20);
+    EXPECT_TRUE(env::parseByteSize("2g", b));
+    EXPECT_EQ(b, u64(2) << 30);
+    EXPECT_TRUE(env::parseByteSize("0", b));
+    EXPECT_EQ(b, 0u);
+}
+
+TEST(Env, ParseByteSizeRejectsNegativesAndGarbage)
+{
+    u64 b = 12345;
+    for (const char *t :
+         {"", "-1", "-64k", "64q", "k", "64kk", "12 34", "lots"}) {
+        EXPECT_FALSE(env::parseByteSize(t, b)) << "'" << t << "'";
+        EXPECT_EQ(b, 12345u) << t; // untouched on failure
+    }
+    EXPECT_FALSE(env::parseByteSize(nullptr, b));
+}
+
+TEST(Env, ParseUnsignedRejectsNegativesOverflowAndGarbage)
+{
+    unsigned v = 7;
+    EXPECT_TRUE(env::parseUnsigned("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(env::parseUnsigned("4096", v));
+    EXPECT_EQ(v, 4096u);
+    EXPECT_TRUE(env::parseUnsigned("4294967295", v));
+    EXPECT_EQ(v, 4294967295u);
+
+    v = 7;
+    for (const char *t : {"", "-1", "-0", "4294967296", "99999999999",
+                          "12x", "x", "1 2"}) {
+        EXPECT_FALSE(env::parseUnsigned(t, v)) << "'" << t << "'";
+        EXPECT_EQ(v, 7u) << t; // untouched on failure
+    }
+    EXPECT_FALSE(env::parseUnsigned(nullptr, v));
+}
+
+TEST(Env, EnvLookupsFallBackToDefaults)
+{
+    // Save and scrub; restore at the end so the test is order-neutral.
+    const char *saved = std::getenv("VMMX_TEST_KNOB");
+    std::string savedValue = saved ? saved : "";
+
+    ::unsetenv("VMMX_TEST_KNOB");
+    EXPECT_TRUE(env::flag("VMMX_TEST_KNOB", true));
+    EXPECT_FALSE(env::flag("VMMX_TEST_KNOB", false));
+    EXPECT_EQ(env::byteSize("VMMX_TEST_KNOB", 77), 77u);
+    EXPECT_EQ(env::str("VMMX_TEST_KNOB", "dflt"), "dflt");
+
+    ::setenv("VMMX_TEST_KNOB", "off", 1);
+    EXPECT_FALSE(env::flag("VMMX_TEST_KNOB", true));
+    ::setenv("VMMX_TEST_KNOB", "64k", 1);
+    EXPECT_EQ(env::byteSize("VMMX_TEST_KNOB", 77), u64(64) << 10);
+    EXPECT_EQ(env::str("VMMX_TEST_KNOB", "dflt"), "64k");
+
+    // Garbage warns and falls back to the default rather than aborting.
+    ::setenv("VMMX_TEST_KNOB", "sideways", 1);
+    EXPECT_TRUE(env::flag("VMMX_TEST_KNOB", true));
+    EXPECT_EQ(env::byteSize("VMMX_TEST_KNOB", 77), 77u);
+
+    if (saved)
+        ::setenv("VMMX_TEST_KNOB", savedValue.c_str(), 1);
+    else
+        ::unsetenv("VMMX_TEST_KNOB");
 }
 
 } // namespace

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * vmmx_study -- run a declarative experiment spec and print its report.
+ *
+ * Loads a StudySpec from a text file (see specs/ for checked-in
+ * examples and README "Studies" for the format), expands the grid,
+ * executes it through the backend the spec's [exec] section names --
+ * serial, in-process threads, or sharded worker processes -- and
+ * renders the [report] section's derived-metric tables.  Figures are
+ * reproducible from a checked-in spec instead of a bespoke binary:
+ *
+ *   vmmx_study specs/fig5.study
+ *   vmmx_study --backend processes --processes 4 specs/fig5.study
+ *   vmmx_study --report-only specs/fig5.study   # tables only (CI diffs)
+ *
+ * --check reruns the grid through the SerialExecutor and exits nonzero
+ * unless every point is bit-identical -- the backend-equivalence
+ * guarantee of harness/executor.hh, asserted here on real specs.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "dist/worker.hh"
+#include "harness/study.hh"
+#include "trace/trace_repo.hh"
+
+using namespace vmmx;
+
+namespace
+{
+
+std::string
+selfPath(const char *argv0)
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0; // non-procfs fallback; must then be an absolute path
+}
+
+[[noreturn]] void
+usage(int rc)
+{
+    std::cout <<
+        "usage: vmmx_study [options] SPEC.study\n"
+        "  --backend B     override the spec's execution backend\n"
+        "                  (serial, threads, processes)\n"
+        "  --threads N     override the spec's thread count\n"
+        "  --processes N   override the spec's worker-process count\n"
+        "  --report-only   print only the report tables (no title or\n"
+        "                  timing lines; what CI diffs against benches)\n"
+        "  --dump-spec     print the canonical spec text and exit\n"
+        "  --check         also run the serial reference executor and\n"
+        "                  exit nonzero unless bit-identical\n"
+        "  --verbose       keep warn()/inform() output\n"
+        "  --help          this text\n";
+    std::exit(rc);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Worker mode (processes backend self-exec) never returns.
+    dist::maybeWorkerMain(argc, argv);
+
+    std::string specPath;
+    bool reportOnly = false, dumpSpec = false, check = false;
+    bool verbose = false;
+    bool backendOverride = false;
+    ExecutionPolicy::Backend backend = ExecutionPolicy::Backend::ThreadPool;
+    int threadsOverride = -1, processesOverride = -1;
+
+    auto value = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            fatal("option '%s' needs a value", argv[i]);
+        return argv[++i];
+    };
+    auto parseUnsigned = [](const std::string &what, const std::string &s) {
+        unsigned v = 0;
+        if (!env::parseUnsigned(s.c_str(), v))
+            fatal("%s: '%s' is not a number", what.c_str(), s.c_str());
+        return v;
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--backend") {
+            std::string b = value(i);
+            if (!parseBackend(b, backend))
+                fatal("--backend: unknown backend '%s'", b.c_str());
+            backendOverride = true;
+        } else if (arg == "--threads")
+            threadsOverride = int(parseUnsigned("--threads", value(i)));
+        else if (arg == "--processes") {
+            processesOverride = int(parseUnsigned("--processes", value(i)));
+            if (processesOverride == 0)
+                fatal("--processes must be >= 1");
+        }
+        else if (arg == "--report-only")
+            reportOnly = true;
+        else if (arg == "--dump-spec")
+            dumpSpec = true;
+        else if (arg == "--check")
+            check = true;
+        else if (arg == "--verbose")
+            verbose = true;
+        else if (arg == "--help")
+            usage(0);
+        else if (!arg.empty() && arg[0] == '-')
+            usage(2);
+        else if (specPath.empty())
+            specPath = arg;
+        else
+            usage(2);
+    }
+    if (specPath.empty())
+        usage(2);
+    setQuiet(!verbose);
+
+    Study study = Study::fromFile(specPath);
+    StudySpec &spec = study.spec();
+    if (backendOverride)
+        spec.exec.backend = backend;
+    if (threadsOverride >= 0)
+        spec.exec.threads = unsigned(threadsOverride);
+    if (processesOverride > 0)
+        spec.exec.processes = unsigned(processesOverride);
+    spec.exec.execPath = selfPath(argv[0]);
+
+    if (dumpSpec) {
+        std::cout << study.specText();
+        return 0;
+    }
+
+    // The spec's budgets supersede whatever the environment set on the
+    // process-wide repository (the [exec] section is the declarative
+    // home of those knobs; the VMMX_* variables are only its defaults).
+    TraceRepository &repo = spec.exec.repository();
+    repo.setRawBudget(spec.exec.rawBudget);
+    repo.setDecodedBudget(spec.exec.decodedBudget);
+
+    auto points = study.points();
+    if (points.empty())
+        fatal("%s: empty grid (no kernels or apps)", specPath.c_str());
+
+    if (!reportOnly) {
+        std::cout << (spec.title.empty() ? specPath : spec.title) << "\n"
+                  << points.size() << " grid points via the "
+                  << executorFor(spec.exec.backend).name()
+                  << " backend ("
+                  << (spec.exec.batch ? "batched trace groups"
+                                      : "per-point jobs")
+                  << ", decoded tier "
+                  << (spec.exec.decoded ? "on" : "off") << ")\n\n";
+    }
+
+    auto start = std::chrono::steady_clock::now();
+    auto results = study.run();
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    study.writeReport(std::cout, results);
+
+    if (!reportOnly) {
+        std::cout << "\nstudy: " << results.size() << " points in "
+                  << TextTable::num(seconds) << " s ("
+                  << TextTable::num(seconds > 0
+                                        ? double(results.size()) / seconds
+                                        : 0.0)
+                  << " points/s)\n";
+    }
+
+    if (check) {
+        ExecutionPolicy serial = spec.exec;
+        serial.backend = ExecutionPolicy::Backend::Serial;
+        auto expect = runPoints(points, serial);
+        size_t mismatches = 0;
+        for (size_t i = 0; i < expect.size(); ++i) {
+            if (!results[i].sameRun(expect[i])) {
+                std::cout << "MISMATCH at " << expect[i].point.label()
+                          << '\n';
+                ++mismatches;
+            }
+        }
+        std::cout << "check vs serial executor: "
+                  << (mismatches ? "FAIL" : "bit-identical") << '\n';
+        if (mismatches)
+            return 1;
+    }
+    return 0;
+}

@@ -24,6 +24,7 @@
 
 #include <unistd.h>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "dist/driver.hh"
@@ -111,11 +112,10 @@ main(int argc, char **argv)
         return argv[++i];
     };
     auto parseUnsigned = [](const std::string &what, const std::string &s) {
-        char *end = nullptr;
-        unsigned long v = std::strtoul(s.c_str(), &end, 10);
-        if (end == s.c_str() || *end != '\0')
+        unsigned v = 0;
+        if (!env::parseUnsigned(s.c_str(), v))
             fatal("%s: '%s' is not a number", what.c_str(), s.c_str());
-        return unsigned(v);
+        return v;
     };
     auto parseBudget = [](const std::string &what, const std::string &s) {
         u64 bytes = 0;
