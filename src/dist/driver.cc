@@ -1,13 +1,17 @@
 #include "dist/driver.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <ctime>
 #include <deque>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
+#include <memory>
 #include <sstream>
+#include <utility>
 
 #include <fcntl.h>
 #include <poll.h>
@@ -16,8 +20,10 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "common/env.hh"
 #include "dist/protocol.hh"
 #include "dist/worker.hh"
+#include "harness/executor.hh"
 #include "harness/harness_io.hh"
 #include "trace/trace_store.hh"
 
@@ -34,25 +40,59 @@ constexpr u32 journalVersion = 1;
  *  latency.  A unit is a trace group (batched) or one point (batch
  *  off). */
 constexpr unsigned pipelineDepth = 2;
+/** Respawn backoff: base << (respawnsUsed - 1), capped.  Bounded so a
+ *  worker that dies instantly on spawn cannot busy-loop the driver, and
+ *  short enough that a transient failure costs milliseconds. */
+constexpr u64 backoffBaseMs = 20;
+constexpr u64 backoffCapMs = 1000;
 
+/** Monotonic milliseconds (deadlines and backoff; never wall clock). */
+u64
+nowMs()
+{
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return u64(ts.tv_sec) * 1000 + u64(ts.tv_nsec) / 1000000;
+}
+
+/** One dispatched-but-unanswered unit on a worker. */
+struct Inflight
+{
+    u32 unit = 0;    ///< unit id
+    u32 expect = 0;  ///< result frames still expected
+    u64 started = 0; ///< when this entry reached the running (front) slot
+};
+
+/**
+ * One worker *slot*.  The slot -- its shard, its perWorker stats row,
+ * its respawn budget -- outlives the processes that serve it: when a
+ * spawn dies the slot is respawned (fresh pid/fd/spawnId) after a
+ * backoff, until maxRespawns is spent and the slot is abandoned.
+ */
 struct WorkerProc
 {
     pid_t pid = -1;
     int fd = -1;
+    unsigned slot = 0; ///< stable index into DistStats::perWorker
+    u32 spawnId = 0;   ///< spawn ordinal (the faultSpec "workerN" id)
     std::deque<u32> shard; ///< remaining unit ids, front first
-    /** Result frames still expected per unit sent but not fully
-     *  answered, in send order.  Workers run units serially and answer
-     *  a unit's points in order, so the front entry is always the one
-     *  being drained. */
-    std::deque<u32> inflight;
+    /** Units sent but not fully answered, in send order.  Workers run
+     *  units serially and answer a unit's points in order, so the
+     *  front entry is always the one being drained. */
+    std::deque<Inflight> inflight;
     bool doneSent = false;
     bool statsSeen = false;
+    unsigned respawnsUsed = 0;
+    bool respawnPending = false;
+    u64 respawnDue = 0; ///< nowMs() timestamp the respawn fires at
+
+    bool live() const { return fd >= 0; }
 
     u32 outstandingResults() const
     {
         u32 n = 0;
-        for (u32 u : inflight)
-            n += u;
+        for (const Inflight &f : inflight)
+            n += f.expect;
         return n;
     }
 };
@@ -60,17 +100,111 @@ struct WorkerProc
 // ---- journal ------------------------------------------------------------
 
 /**
+ * Append side of the crash journal.  A plain fd, not an ofstream: with
+ * DistOptions::journalSync each entry is fdatasync()ed so it survives a
+ * *host* crash, and that requires the real descriptor.  Opened
+ * O_CLOEXEC; fork-without-exec children close it via the spawn-time
+ * close list.
+ */
+class Journal
+{
+  public:
+    explicit Journal(bool sync) : sync_(sync) {}
+    ~Journal() { close(); }
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    bool
+    open(const std::string &path, bool truncate)
+    {
+        close();
+        int flags =
+            O_WRONLY | O_CREAT | O_CLOEXEC | (truncate ? O_TRUNC : O_APPEND);
+        fd_ = ::open(path.c_str(), flags, 0644);
+        return fd_ >= 0;
+    }
+
+    bool ok() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    void
+    writeHeader(u64 signature)
+    {
+        wire::Writer hdr;
+        hdr.fixed32(journalMagic);
+        hdr.fixed32(journalVersion);
+        hdr.fixed64(signature);
+        writeAll(hdr);
+        commit();
+    }
+
+    /** Append one checksummed entry; @p payload is an encoded ResultMsg
+     *  (the received Result frame bytes can be reused verbatim). */
+    void
+    append(const std::vector<u8> &payload)
+    {
+        wire::Writer frame;
+        frame.fixed32(u32(payload.size()));
+        frame.bytes(payload.data(), payload.size());
+        frame.fixed64(wire::fnv1a(payload.data(), payload.size()));
+        writeAll(frame);
+        commit();
+    }
+
+    void
+    close()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = -1;
+    }
+
+  private:
+    void
+    writeAll(const wire::Writer &w)
+    {
+        const u8 *p = w.buffer().data();
+        size_t n = w.size();
+        while (n > 0) {
+            ssize_t k = ::write(fd_, p, n);
+            if (k < 0) {
+                if (errno == EINTR)
+                    continue;
+                fatal("journal write failed: %s", std::strerror(errno));
+            }
+            p += k;
+            n -= size_t(k);
+        }
+    }
+
+    /** write() already leaves the entry visible to a resuming driver;
+     *  sync mode additionally forces it to stable storage. */
+    void
+    commit()
+    {
+        if (sync_ && ::fdatasync(fd_) != 0)
+            warn("journal fdatasync failed: %s", std::strerror(errno));
+    }
+
+    int fd_ = -1;
+    bool sync_;
+};
+
+/**
  * Restore completed entries from @p path into @p results/@p have.
- * Stops quietly at the first truncated or corrupt entry (a crash can cut
- * an append short; everything before it is still good) and reports the
- * end of the valid prefix in @p validEnd so the caller can truncate the
- * damage away before appending.
+ * Damage is counted, not silently dropped: every entry that cannot be
+ * restored bumps @p skipped.  A damaged *tail* (crash mid-append) ends
+ * the scan with @p validEnd at the end of the good prefix so the caller
+ * can truncate it away and append; a damaged entry in the *middle*
+ * (bit rot) sets @p needRewrite -- later good entries are still
+ * restored, but the file must be rewritten from the restored state
+ * because appending after corrupt bytes would strand the new entries.
  * @return false when the file is missing or belongs to a different grid.
  */
 bool
 journalLoad(const std::string &path, u64 signature,
             std::vector<SweepResult> &results, std::vector<bool> &have,
-            u64 &restored, u64 &validEnd)
+            u64 &restored, u64 &validEnd, u64 &skipped, bool &needRewrite)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
@@ -98,61 +232,49 @@ journalLoad(const std::string &path, u64 signature,
     }
     validEnd = sizeof(hdr);
 
+    u64 offset = sizeof(hdr);
     for (;;) {
         u8 lenBytes[4];
-        if (!readExact(lenBytes, 4))
+        if (!readExact(lenBytes, 4)) {
+            if (offset < fileSize)
+                ++skipped; // partial length prefix: crash mid-append
             break;
+        }
         wire::Reader lr(lenBytes, 4);
         u32 len = lr.fixed32();
         // A corrupt length prefix must read as a damaged tail, not an
         // attempted multi-GiB allocation.
-        if (validEnd + 4 + u64(len) + 8 > fileSize)
+        if (offset + 4 + u64(len) + 8 > fileSize) {
+            ++skipped;
             break;
+        }
         std::vector<u8> payload(len);
         u8 sumBytes[8];
-        if (!readExact(payload.data(), len) || !readExact(sumBytes, 8))
-            break; // truncated tail: crash mid-append
+        if (!readExact(payload.data(), len) || !readExact(sumBytes, 8)) {
+            ++skipped;
+            break;
+        }
+        offset += 4 + len + 8;
         wire::Reader sr(sumBytes, 8);
-        if (sr.fixed64() != wire::fnv1a(payload.data(), payload.size()))
-            break;
         ResultMsg m;
-        if (!decode(payload, m) || m.index >= results.size())
-            break;
+        if (sr.fixed64() != wire::fnv1a(payload.data(), payload.size()) ||
+            !decode(payload, m) || m.index >= results.size()) {
+            // Damage with intact framing: count it, keep scanning --
+            // the entries behind it are still good data.
+            ++skipped;
+            needRewrite = true;
+            continue;
+        }
         if (!have[m.index]) {
             results[m.index].result = m.result;
             results[m.index].traceLength = m.traceLength;
             have[m.index] = true;
             ++restored;
         }
-        validEnd += 4 + len + 8;
+        if (!needRewrite)
+            validEnd = offset;
     }
     return true;
-}
-
-/** Append one checksummed entry; @p payload is an encoded ResultMsg
- *  (the received Result frame bytes can be reused verbatim). */
-void
-journalAppend(std::ofstream &out, const std::vector<u8> &payload)
-{
-    wire::Writer frame;
-    frame.fixed32(u32(payload.size()));
-    frame.bytes(payload.data(), payload.size());
-    frame.fixed64(wire::fnv1a(payload.data(), payload.size()));
-    out.write(reinterpret_cast<const char *>(frame.buffer().data()),
-              std::streamsize(frame.size()));
-    out.flush(); // each completed point survives a driver crash
-}
-
-void
-journalWriteHeader(std::ofstream &out, u64 signature)
-{
-    wire::Writer hdr;
-    hdr.fixed32(journalMagic);
-    hdr.fixed32(journalVersion);
-    hdr.fixed64(signature);
-    out.write(reinterpret_cast<const char *>(hdr.buffer().data()),
-              std::streamsize(hdr.size()));
-    out.flush();
 }
 
 // ---- worker lifecycle ---------------------------------------------------
@@ -165,8 +287,11 @@ setCloexec(int fd)
         fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
 }
 
-WorkerProc
-spawnWorker(const DistOptions &opts, const std::vector<int> &parentFds)
+/** Fork (or fork+exec) one worker process.  @p closeFds are the
+ *  parent-side descriptors the child must drop so a dead driver reads
+ *  as EOF everywhere.  @return {pid, driver-side fd}. */
+std::pair<pid_t, int>
+spawnWorker(const DistOptions &opts, const std::vector<int> &closeFds)
 {
     int sv[2];
     if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0)
@@ -177,10 +302,8 @@ spawnWorker(const DistOptions &opts, const std::vector<int> &parentFds)
     if (pid < 0)
         fatal("fork failed: %s", std::strerror(errno));
     if (pid == 0) {
-        // Child: drop every parent-side descriptor inherited so far so a
-        // dead driver reads as EOF everywhere.
         ::close(sv[0]);
-        for (int fd : parentFds)
+        for (int fd : closeFds)
             ::close(fd);
         if (opts.execPath.empty()) {
             ::_exit(workerServe(sv[1]));
@@ -201,16 +324,15 @@ spawnWorker(const DistOptions &opts, const std::vector<int> &parentFds)
         }
     }
     ::close(sv[1]);
-    WorkerProc w;
-    w.pid = pid;
-    w.fd = sv[0];
-    return w;
+    return {pid, sv[0]};
 }
 
 /**
  * Next unit for @p self: its own shard front, else steal from the tail
  * of the fullest other shard (the tail is the work the victim would get
  * to last, so stealing it minimizes contention on hot cache entries).
+ * Dead slots' shards -- including units reclaimed onto them -- are
+ * valid steal victims.
  */
 bool
 nextUnitFor(std::vector<WorkerProc> &workers, WorkerProc &self, u32 &unit,
@@ -234,35 +356,6 @@ nextUnitFor(std::vector<WorkerProc> &workers, WorkerProc &self, u32 &unit,
     return true;
 }
 
-/** Ship one unit: a single-point unit travels as a legacy Job frame, a
- *  multi-point trace group as one JobGroup frame the worker runs
- *  batched.  Either way the worker answers with per-point Results. */
-void
-sendUnit(WorkerProc &w, u32 unit, const std::vector<std::vector<u32>> &units,
-         const std::vector<SweepPoint> &points, u64 &groupsRun)
-{
-    const std::vector<u32> &indices = units[unit];
-    bool ok;
-    if (indices.size() == 1) {
-        JobMsg job;
-        job.index = indices[0];
-        job.point = points[indices[0]];
-        ok = wire::writeFrame(w.fd, encode(job));
-    } else {
-        JobGroupMsg group;
-        group.indices = indices;
-        group.points.reserve(indices.size());
-        for (u32 i : indices)
-            group.points.push_back(points[i]);
-        ok = wire::writeFrame(w.fd, encode(group));
-    }
-    if (!ok)
-        fatal("lost connection to worker pid %d while sending unit %u",
-              int(w.pid), unit);
-    w.inflight.push_back(u32(indices.size()));
-    ++groupsRun;
-}
-
 } // namespace
 
 std::string
@@ -279,7 +372,65 @@ DistStats::summary() const
        << " decoded hits, " << bytesResident / (1024.0 * 1024.0)
        << " MiB raw + " << decodedBytes / (1024.0 * 1024.0)
        << " MiB decoded resident at exit";
+    if (respawns || reassignedUnits || retries)
+        os << "; recovery: " << respawns << " respawns, " << reassignedUnits
+           << " units reclaimed, " << retries << " retried";
+    if (quarantinedUnits)
+        os << "; QUARANTINED " << quarantinedUnits << " units ("
+           << quarantinedPoints.size() << " points unexecuted)";
+    if (degraded)
+        os << "; DEGRADED to in-driver execution (" << degradedJobs
+           << " jobs run by the driver)";
+    if (abnormalExits)
+        os << "; " << abnormalExits << " abnormal worker exits";
+    if (journalSkipped)
+        os << "; " << journalSkipped << " damaged journal entries skipped";
     return os.str();
+}
+
+const char *
+name(WorkerExit::Cause c)
+{
+    switch (c) {
+      case WorkerExit::Cause::Clean: return "clean";
+      case WorkerExit::Cause::Exit: return "exit";
+      case WorkerExit::Cause::Signal: return "signal";
+      case WorkerExit::Cause::Malformed: return "malformed";
+      case WorkerExit::Cause::Hung: return "hung";
+      case WorkerExit::Cause::Lost: return "lost";
+      case WorkerExit::Cause::Error: return "error";
+    }
+    panic("bad exit cause %d", int(c));
+}
+
+unsigned
+maxRespawnsFromEnv()
+{
+    return env::number("VMMX_MAX_RESPAWNS", 3);
+}
+
+unsigned
+maxUnitAttemptsFromEnv()
+{
+    return env::number("VMMX_MAX_UNIT_ATTEMPTS", 3);
+}
+
+u64
+unitTimeoutMsFromEnv()
+{
+    return env::number("VMMX_UNIT_TIMEOUT_MS", 0);
+}
+
+bool
+journalSyncFromEnv()
+{
+    return env::flag("VMMX_JOURNAL_SYNC", false);
+}
+
+std::string
+faultSpecFromEnv()
+{
+    return env::str("VMMX_FAULT_SPEC");
 }
 
 u64
@@ -311,33 +462,36 @@ runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
 
     // ---- journal restore ------------------------------------------------
     const u64 signature = gridSignature(points);
-    std::ofstream journal;
+    Journal journal(opts.journalSync);
     if (!opts.journalPath.empty()) {
         u64 validEnd = 0;
+        bool needRewrite = false;
         bool valid = journalLoad(opts.journalPath, signature, results, have,
-                                 st.jobsResumed, validEnd);
+                                 st.jobsResumed, validEnd, st.journalSkipped,
+                                 needRewrite);
+        if (valid && needRewrite) {
+            warn("journal '%s' has damaged entries mid-file; rewriting it",
+                 opts.journalPath.c_str());
+            valid = false; // rewrite from the restored state below
+        }
         if (valid) {
             // Drop any half-written tail so appended entries stay
             // reachable on the next resume.
             std::error_code ec;
             std::filesystem::resize_file(opts.journalPath, validEnd, ec);
             if (ec) {
-                // Appending after corrupt bytes would strand the new
-                // entries behind them on the next load; rewrite the
-                // journal from the restored state instead.
                 warn("cannot drop damaged tail of journal '%s' (%s); "
                      "rewriting it", opts.journalPath.c_str(),
                      ec.message().c_str());
                 valid = false;
-            } else {
-                journal.open(opts.journalPath,
-                             std::ios::binary | std::ios::app);
+            } else if (!journal.open(opts.journalPath, false)) {
+                fatal("cannot open journal '%s'", opts.journalPath.c_str());
             }
         }
         if (!valid) {
-            journal.open(opts.journalPath,
-                         std::ios::binary | std::ios::trunc);
-            journalWriteHeader(journal, signature);
+            if (!journal.open(opts.journalPath, true))
+                fatal("cannot open journal '%s'", opts.journalPath.c_str());
+            journal.writeHeader(signature);
             for (size_t i = 0; i < results.size(); ++i) {
                 if (!have[i])
                     continue;
@@ -345,11 +499,9 @@ runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
                 m.index = u32(i);
                 m.traceLength = results[i].traceLength;
                 m.result = results[i].result;
-                journalAppend(journal, encode(m));
+                journal.append(encode(m));
             }
         }
-        if (!journal)
-            fatal("cannot open journal '%s'", opts.journalPath.c_str());
     }
 
     std::vector<u32> pending;
@@ -366,6 +518,9 @@ runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
     // form units identically.
     std::vector<std::vector<u32>> units =
         buildSweepUnits(points, pending, opts.batch);
+    std::vector<unsigned> attempts(units.size(), 0);
+    std::vector<bool> failed(points.size(), false); // quarantined points
+    const unsigned maxAttempts = std::max(opts.maxUnitAttempts, 1u);
 
     // Writing to a worker that died must surface as an EPIPE error code,
     // not kill the driver.
@@ -373,26 +528,24 @@ runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
     ignore.sa_handler = SIG_IGN;
     sigaction(SIGPIPE, &ignore, &oldPipe);
 
-    // ---- spawn and shard ------------------------------------------------
+    // ---- slots and shards -----------------------------------------------
     const unsigned n = unsigned(
         std::min<size_t>(opts.processes, units.size()));
     st.workers = n;
     st.perWorker.resize(n);
-    SetupMsg setup;
+    SetupMsg setup; // per-spawn workerId filled in at spawn time
     setup.storeDir =
         opts.storeDir.empty() ? TraceStore::defaultDir() : opts.storeDir;
     setup.cacheBudget = opts.cacheBudget;
     setup.decodedBudget = opts.decodedBudget;
     setup.decoded = opts.decoded;
     setup.quiet = opts.quiet;
+    setup.faultSpec = opts.faultSpec;
 
-    std::vector<WorkerProc> workers;
-    workers.reserve(n);
-    std::vector<int> parentFds;
-    for (unsigned w = 0; w < n; ++w) {
-        workers.push_back(spawnWorker(opts, parentFds));
-        parentFds.push_back(workers.back().fd);
-    }
+    u32 nextSpawnId = 0;
+    std::vector<WorkerProc> workers(n);
+    for (unsigned w = 0; w < n; ++w)
+        workers[w].slot = w;
     // Contiguous shards of units keep each worker's trace working set
     // small (grid builders emit points for one workload consecutively,
     // so neighbouring groups share store/cache locality).
@@ -401,37 +554,304 @@ runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
         for (size_t u = lo; u < hi; ++u)
             workers[w].shard.push_back(u32(u));
     }
-    for (auto &w : workers) {
-        if (!wire::writeFrame(w.fd, encode(setup)))
-            fatal("lost connection to worker pid %d during setup",
-                  int(w.pid));
-        // Own-shard units only here: stealing during startup could leave
-        // a later worker with no work and therefore no Result to trigger
-        // its Done handshake.
-        for (unsigned k = 0; k < pipelineDepth && !w.shard.empty(); ++k) {
-            u32 unit = w.shard.front();
-            w.shard.pop_front();
-            sendUnit(w, unit, units, points, st.groupsRun);
-        }
-    }
 
-    // ---- event loop ------------------------------------------------------
-    auto allStatsSeen = [&]() {
+    // ---- supervision machinery ------------------------------------------
+
+    /** Abandon a unit that has exhausted its attempts: its missing
+     *  points are reported failed and never retried, even in degraded
+     *  mode. */
+    auto quarantineUnit = [&](u32 u) {
+        ++st.quarantinedUnits;
+        for (u32 i : units[u]) {
+            if (have[i] || failed[i])
+                continue;
+            failed[i] = true;
+            st.quarantinedPoints.push_back(i);
+            --remaining;
+        }
+        warn("unit %u quarantined after killing %u workers", u, maxAttempts);
+    };
+
+    /** Reclaim a dead worker's in-flight units back onto its slot's
+     *  shard (front, preserving order), charging an attempt only to the
+     *  unit that was actually executing -- the queued ones were
+     *  bystanders. */
+    auto reclaim = [&](WorkerProc &w) {
+        std::vector<u32> back;
+        bool front = true;
+        while (!w.inflight.empty()) {
+            u32 u = w.inflight.front().unit;
+            w.inflight.pop_front();
+            if (front) {
+                front = false;
+                if (++attempts[u] >= maxAttempts) {
+                    quarantineUnit(u);
+                    continue;
+                }
+                ++st.retries;
+            }
+            ++st.reassignedUnits;
+            back.push_back(u);
+        }
+        w.shard.insert(w.shard.begin(), back.begin(), back.end());
+    };
+
+    /**
+     * A spawn is gone (EOF, malformed frame, deadline...): reap it,
+     * record its fate, reclaim its units, and schedule a backed-off
+     * respawn of the slot if the budget allows.  @p killFirst for
+     * causes where the process may still be running (hung, babbling a
+     * corrupt stream) and must be stopped before the blocking waitpid.
+     */
+    auto workerDied = [&](WorkerProc &w, WorkerExit::Cause cause,
+                          const std::string &reason, bool killFirst) {
+        if (w.fd >= 0) {
+            ::close(w.fd);
+            w.fd = -1;
+        }
+        std::string statusText = "status unknown";
+        if (w.pid > 0) {
+            if (killFirst)
+                ::kill(w.pid, SIGKILL);
+            int status = 0;
+            if (waitpid(w.pid, &status, 0) == w.pid) {
+                if (WIFSIGNALED(status)) {
+                    statusText =
+                        "signal " + std::to_string(WTERMSIG(status));
+                    if (cause == WorkerExit::Cause::Lost)
+                        cause = WorkerExit::Cause::Signal;
+                } else if (WIFEXITED(status)) {
+                    statusText = "exit " +
+                                 std::to_string(WEXITSTATUS(status));
+                    if (cause == WorkerExit::Cause::Lost)
+                        cause = WorkerExit::Cause::Exit;
+                }
+            }
+            w.pid = -1;
+        }
+        ++st.abnormalExits;
+        std::string detail =
+            reason.empty() ? statusText : reason + "; " + statusText;
+        st.exitCauses.push_back({w.slot, w.spawnId, cause, detail});
+        if (!opts.quiet)
+            warn("worker %u (slot %u) lost -- %s: %s -- recovering",
+                 unsigned(w.spawnId), w.slot, name(cause), detail.c_str());
+        reclaim(w);
+        w.doneSent = false;
+        if (remaining > 0 && w.respawnsUsed < opts.maxRespawns) {
+            ++w.respawnsUsed;
+            w.respawnPending = true;
+            u64 backoff = std::min(
+                backoffBaseMs << (w.respawnsUsed - 1), backoffCapMs);
+            w.respawnDue = nowMs() + backoff;
+        }
+    };
+
+    /** Ship one unit -- only its still-missing points, so a reclaimed,
+     *  partially-answered group is not re-run in full.  A fully-covered
+     *  unit sends nothing.  @return false when the write fails (caller
+     *  must treat the worker as dead). */
+    auto sendUnit = [&](WorkerProc &w, u32 unit) -> bool {
+        std::vector<u32> indices;
+        for (u32 i : units[unit])
+            if (!have[i] && !failed[i])
+                indices.push_back(i);
+        if (indices.empty())
+            return true;
+        bool ok;
+        if (indices.size() == 1) {
+            JobMsg job;
+            job.index = indices[0];
+            job.point = points[indices[0]];
+            ok = wire::writeFrame(w.fd, encode(job));
+        } else {
+            JobGroupMsg group;
+            group.indices = indices;
+            group.points.reserve(indices.size());
+            for (u32 i : indices)
+                group.points.push_back(points[i]);
+            ok = wire::writeFrame(w.fd, encode(group));
+        }
+        if (!ok)
+            return false;
+        w.inflight.push_back({unit, u32(indices.size()), nowMs()});
+        ++st.groupsRun;
+        return true;
+    };
+
+    /** Top the worker's pipeline up to depth, or complete its Done
+     *  handshake when no work is left anywhere.  @return false on a
+     *  write failure. */
+    auto refill = [&](WorkerProc &w) -> bool {
+        while (w.live() && !w.doneSent &&
+               w.inflight.size() < pipelineDepth) {
+            u32 unit;
+            if (nextUnitFor(workers, w, unit, st.steals)) {
+                if (!sendUnit(w, unit)) {
+                    // Not sent, not in flight: back onto the shard so
+                    // the unit survives this worker's death.
+                    w.shard.push_front(unit);
+                    return false;
+                }
+            } else if (w.inflight.empty()) {
+                if (!wire::writeFrame(w.fd, encodeDone()))
+                    return false;
+                w.doneSent = true;
+            } else {
+                break; // pipeline part-full and no more units to queue
+            }
+        }
+        return true;
+    };
+
+    /** Spawn a process into slot @p w and hand it its setup + first
+     *  units; a failure right here re-enters the death path. */
+    auto startWorker = [&](WorkerProc &w) {
+        std::vector<int> closeFds;
+        for (const auto &other : workers)
+            if (other.fd >= 0)
+                closeFds.push_back(other.fd);
+        if (journal.ok())
+            closeFds.push_back(journal.fd());
+        auto [pid, fd] = spawnWorker(opts, closeFds);
+        w.pid = pid;
+        w.fd = fd;
+        w.spawnId = nextSpawnId++;
+        w.doneSent = false;
+        w.statsSeen = false;
+        w.inflight.clear();
+        SetupMsg s = setup;
+        s.workerId = w.spawnId;
+        if (!wire::writeFrame(w.fd, encode(s)) || !refill(w))
+            workerDied(w, WorkerExit::Cause::Lost, "failed during setup",
+                       false);
+    };
+
+    /** Respawns are deferred to the loop top: never mid-poll-iteration,
+     *  so a recycled descriptor can never alias a stale pollfd. */
+    auto fireRespawns = [&]() {
+        for (auto &w : workers) {
+            if (!w.respawnPending || nowMs() < w.respawnDue)
+                continue;
+            w.respawnPending = false;
+            if (remaining == 0)
+                continue;
+            ++st.respawns;
+            startWorker(w);
+        }
+    };
+
+    /** True when work remains but nobody can do it: every slot is dead
+     *  or past its Done handshake, and no respawn is coming. */
+    auto fleetCollapsed = [&]() {
+        if (remaining == 0)
+            return false;
         for (const auto &w : workers)
-            if (!w.statsSeen)
+            if ((w.live() && !w.doneSent) || w.respawnPending)
                 return false;
         return true;
     };
 
-    std::vector<u8> frame;
-    while (remaining > 0 || !allStatsSeen()) {
-        std::vector<pollfd> pfds;
+    /** Graceful degradation: run every still-missing, non-quarantined
+     *  point in-driver through the serial unit runner.  Same units,
+     *  same submission-order slots, so the bytes match what the fleet
+     *  would have produced. */
+    auto degrade = [&]() {
+        st.degraded = true;
+        if (!opts.quiet)
+            warn("worker fleet exhausted; running %zu remaining points "
+                 "in-driver", remaining);
+        auto store = std::make_unique<TraceStore>(setup.storeDir);
+        TraceRepository repo(store.get(), opts.cacheBudget,
+                             opts.decodedBudget);
+        ExecutionPolicy pol;
+        pol.batch = opts.batch;
+        pol.decoded = opts.decoded;
+        pol.repo = &repo;
+        for (u32 u = 0; u < units.size() && remaining > 0; ++u) {
+            std::vector<u32> subset;
+            for (u32 i : units[u])
+                if (!have[i] && !failed[i])
+                    subset.push_back(i);
+            if (subset.empty())
+                continue;
+            runSweepUnit(points, subset, pol, results);
+            for (u32 i : subset) {
+                have[i] = true;
+                --remaining;
+                ++st.degradedJobs;
+                if (journal.ok()) {
+                    ResultMsg m;
+                    m.index = i;
+                    m.traceLength = results[i].traceLength;
+                    m.result = results[i].result;
+                    journal.append(encode(m));
+                }
+            }
+        }
+        for (auto &w : workers)
+            w.shard.clear();
+    };
+
+    // ---- spawn ----------------------------------------------------------
+    for (auto &w : workers)
+        startWorker(w);
+
+    // ---- event loop -----------------------------------------------------
+    auto awaitingStats = [&]() {
         for (const auto &w : workers)
-            if (w.fd >= 0 && !w.statsSeen)
-                pfds.push_back({w.fd, POLLIN, 0});
-        if (pfds.empty())
-            break;
-        if (poll(pfds.data(), nfds_t(pfds.size()), -1) < 0) {
+            if (w.live() && !w.statsSeen)
+                return true;
+        return false;
+    };
+
+    std::vector<u8> frame;
+    while (remaining > 0 || awaitingStats()) {
+        fireRespawns();
+        if (opts.unitTimeoutMs > 0) {
+            u64 now = nowMs();
+            for (auto &w : workers)
+                if (w.live() && !w.inflight.empty() &&
+                    now - w.inflight.front().started >= opts.unitTimeoutMs)
+                    workerDied(w, WorkerExit::Cause::Hung,
+                               "unit " +
+                                   std::to_string(w.inflight.front().unit) +
+                                   " blew the " +
+                                   std::to_string(opts.unitTimeoutMs) +
+                                   "ms deadline",
+                               true);
+        }
+        if (fleetCollapsed()) {
+            degrade();
+            continue;
+        }
+
+        // Poll must wake for the earliest pending respawn or unit
+        // deadline even if no descriptor stirs.
+        int timeout = -1;
+        u64 now = nowMs();
+        auto wakeAt = [&](u64 when) {
+            u64 delta = when > now ? when - now : 0;
+            if (timeout < 0 || u64(timeout) > delta)
+                timeout = int(std::min<u64>(delta, 60000));
+        };
+        std::vector<pollfd> pfds;
+        for (const auto &w : workers) {
+            if (w.respawnPending)
+                wakeAt(w.respawnDue);
+            if (!w.live() || w.statsSeen)
+                continue;
+            pfds.push_back({w.fd, POLLIN, 0});
+            if (opts.unitTimeoutMs > 0 && !w.inflight.empty())
+                wakeAt(w.inflight.front().started + opts.unitTimeoutMs);
+        }
+        if (pfds.empty()) {
+            if (timeout < 0)
+                break; // nothing live, nothing scheduled
+            poll(nullptr, 0, timeout);
+            continue;
+        }
+        if (poll(pfds.data(), nfds_t(pfds.size()), timeout) < 0) {
             if (errno == EINTR)
                 continue;
             fatal("poll failed: %s", std::strerror(errno));
@@ -439,56 +859,61 @@ runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
         for (const auto &p : pfds) {
             if (!(p.revents & (POLLIN | POLLHUP | POLLERR)))
                 continue;
+            // Resolve by *current* fd: a worker that died earlier in
+            // this same sweep of pfds left a stale entry behind.
             WorkerProc *w = nullptr;
             for (auto &cand : workers)
-                if (cand.fd == p.fd)
+                if (cand.live() && cand.fd == p.fd)
                     w = &cand;
-            vmmx_assert(w != nullptr, "poll returned unknown fd");
+            if (!w)
+                continue;
 
             if (!wire::readFrame(w->fd, frame)) {
-                if (opts.journalPath.empty())
-                    fatal("worker pid %d died with %u jobs in flight",
-                          int(w->pid), w->outstandingResults());
-                fatal("worker pid %d died with %u jobs in flight; rerun "
-                      "with --journal '%s' to resume",
-                      int(w->pid), w->outstandingResults(),
-                      opts.journalPath.c_str());
+                workerDied(*w, WorkerExit::Cause::Lost,
+                           "connection lost with " +
+                               std::to_string(w->outstandingResults()) +
+                               " results outstanding",
+                           false);
+                continue;
             }
             switch (frameType(frame)) {
               case Msg::Result: {
                 ResultMsg m;
                 if (!decode(frame, m) || m.index >= results.size() ||
-                    have[m.index] || w->inflight.empty())
-                    fatal("worker pid %d sent a malformed result",
-                          int(w->pid));
+                    have[m.index] || failed[m.index] ||
+                    w->inflight.empty()) {
+                    workerDied(*w, WorkerExit::Cause::Malformed,
+                               "malformed or protocol-violating result",
+                               true);
+                    break;
+                }
                 results[m.index].result = m.result;
                 results[m.index].traceLength = m.traceLength;
                 have[m.index] = true;
                 --remaining;
                 ++st.jobsRun;
-                if (journal.is_open())
-                    journalAppend(journal, frame); // same bytes as encode(m)
-                // Units complete in send order; refill the pipeline when
-                // the front unit has answered all of its points.
-                if (--w->inflight.front() == 0) {
+                if (journal.ok())
+                    journal.append(frame); // same bytes as encode(m)
+                // Units complete in send order; when the front unit has
+                // answered all of its points, the next queued unit
+                // starts executing -- its deadline clock starts now.
+                if (--w->inflight.front().expect == 0) {
                     w->inflight.pop_front();
-                    u32 unit;
-                    if (nextUnitFor(workers, *w, unit, st.steals)) {
-                        sendUnit(*w, unit, units, points, st.groupsRun);
-                    } else if (w->inflight.empty() && !w->doneSent) {
-                        if (!wire::writeFrame(w->fd, encodeDone()))
-                            fatal("lost connection to worker pid %d",
-                                  int(w->pid));
-                        w->doneSent = true;
-                    }
+                    if (!w->inflight.empty())
+                        w->inflight.front().started = nowMs();
+                    if (!refill(*w))
+                        workerDied(*w, WorkerExit::Cause::Lost,
+                                   "write failed during refill", false);
                 }
                 break;
               }
               case Msg::Stats: {
                 StatsMsg m;
-                if (!decode(frame, m))
-                    fatal("worker pid %d sent malformed stats",
-                          int(w->pid));
+                if (!decode(frame, m)) {
+                    workerDied(*w, WorkerExit::Cause::Malformed,
+                               "malformed stats frame", true);
+                    break;
+                }
                 st.generations += m.generations;
                 st.hits += m.hits;
                 st.diskLoads += m.diskLoads;
@@ -497,23 +922,29 @@ runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
                 st.decodes += m.decodes;
                 st.decodedHits += m.decodedHits;
                 st.decodedBytes += m.decodedBytes;
-                size_t slot = size_t(w - workers.data());
-                st.perWorker[slot] = {m.generations,  m.hits,
-                                      m.diskLoads,    m.decodes,
-                                      m.decodedHits,  m.bytesResident,
-                                      m.decodedBytes};
+                // += : the slot's earlier spawns may have reported too.
+                WorkerTierStats &pw = st.perWorker[w->slot];
+                pw.generations += m.generations;
+                pw.hits += m.hits;
+                pw.diskLoads += m.diskLoads;
+                pw.decodes += m.decodes;
+                pw.decodedHits += m.decodedHits;
+                pw.bytesResident += m.bytesResident;
+                pw.decodedBytes += m.decodedBytes;
                 w->statsSeen = true;
                 break;
               }
               case Msg::Error: {
                 std::string what;
                 decodeError(frame, what);
-                fatal("worker pid %d failed: %s", int(w->pid),
-                      what.c_str());
+                workerDied(*w, WorkerExit::Cause::Error, what, false);
+                break;
               }
               default:
-                fatal("unexpected frame type %u from worker pid %d",
-                      unsigned(frameType(frame)), int(w->pid));
+                workerDied(*w, WorkerExit::Cause::Malformed,
+                           "unexpected frame type " +
+                               std::to_string(unsigned(frameType(frame))),
+                           true);
             }
         }
     }
@@ -524,11 +955,38 @@ runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
             ::close(w.fd);
             w.fd = -1;
         }
+        if (w.pid <= 0)
+            continue; // this slot's last spawn was already reaped
         int status = 0;
-        if (waitpid(w.pid, &status, 0) == w.pid &&
-            (!WIFEXITED(status) || WEXITSTATUS(status) != 0))
-            warn("worker pid %d exited abnormally after completing its "
-                 "jobs", int(w.pid));
+        if (waitpid(w.pid, &status, 0) != w.pid)
+            continue;
+        w.pid = -1;
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+            st.exitCauses.push_back(
+                {w.slot, w.spawnId, WorkerExit::Cause::Clean, "exit 0"});
+            continue;
+        }
+        // The worker finished its jobs, then died on the way out; the
+        // results are fine but the fate must not be lost (a real crash
+        // in teardown code hides real bugs).
+        ++st.abnormalExits;
+        WorkerExit e;
+        e.slot = w.slot;
+        e.spawnId = w.spawnId;
+        if (WIFSIGNALED(status)) {
+            e.cause = WorkerExit::Cause::Signal;
+            e.detail = "signal " + std::to_string(WTERMSIG(status)) +
+                       " after completing its jobs";
+        } else {
+            e.cause = WorkerExit::Cause::Exit;
+            e.detail = "exit " + std::to_string(WEXITSTATUS(status)) +
+                       " after completing its jobs";
+        }
+        if (!opts.quiet)
+            warn("worker %u (slot %u) exited abnormally after completing "
+                 "its jobs (%s)", unsigned(w.spawnId), w.slot,
+                 e.detail.c_str());
+        st.exitCauses.push_back(std::move(e));
     }
     sigaction(SIGPIPE, &oldPipe, nullptr);
     vmmx_assert(remaining == 0, "distributed sweep lost grid points");

@@ -15,6 +15,21 @@
  * steals units from the tail of the largest remaining shard, so
  * stragglers (one worker stuck on mpeg2enc) cannot serialize the sweep.
  *
+ * The driver is a *supervisor*: a worker that dies (EOF, signal,
+ * nonzero exit), sends a malformed or Error frame, or blows the
+ * per-unit deadline (DistOptions::unitTimeoutMs) does not kill the run.
+ * Its in-flight units are reclaimed -- only the still-missing points of
+ * each -- and its slot is respawned with bounded exponential backoff,
+ * up to DistOptions::maxRespawns times.  The attempt count of the unit
+ * that was *executing* at death is charged; a unit that has killed
+ * maxUnitAttempts workers is quarantined (its remaining points reported
+ * failed, never retried).  When the whole fleet is gone and respawn
+ * budgets are spent, the driver degrades gracefully: the remaining
+ * units run in-driver through the serial unit runner.  Every recovery
+ * path is reported in DistStats, and all of them are deterministically
+ * exercisable via DistOptions::faultSpec / $VMMX_FAULT_SPEC (grammar in
+ * common/env.hh).
+ *
  * Completed results are journaled to disk as they arrive (optional), so
  * a crashed or interrupted sweep resumes from where it stopped: rerun
  * with the same journal path and only the missing grid points execute.
@@ -24,7 +39,10 @@
  * Aggregation is by submission index into a pre-sized result vector, so
  * the output order -- and, because per-job state is private and traces
  * are immutable and deterministic in their TraceKey -- every byte of the
- * results is identical to Sweep::runSerial() on the same grid.
+ * results is identical to Sweep::runSerial() on the same grid.  That
+ * same property is what makes recovery safe: re-running the missing
+ * subset of a trace group yields per-point results identical to the
+ * full pass, so recovered and degraded runs stay bit-identical too.
  */
 
 #ifndef VMMX_DIST_DRIVER_HH
@@ -52,6 +70,30 @@ struct WorkerTierStats
     u64 decodedBytes = 0;  ///< decoded bytes resident at exit
 };
 
+/** How one worker spawn ended (one entry per spawn, including clean
+ *  ones, in the order the driver learned of them). */
+struct WorkerExit
+{
+    enum class Cause : u8
+    {
+        Clean,     ///< exited 0 after the Done handshake
+        Exit,      ///< exited nonzero (crash via _exit, exec failure...)
+        Signal,    ///< killed by a signal (SIGKILL, SIGSEGV...)
+        Malformed, ///< sent an undecodable or protocol-violating frame
+        Hung,      ///< blew the per-unit deadline; driver SIGKILLed it
+        Lost,      ///< connection lost mid-session (EOF at the driver)
+        Error,     ///< sent an explicit Error frame
+    };
+
+    unsigned slot = 0;  ///< worker slot (index into DistStats::perWorker)
+    u32 spawnId = 0;    ///< spawn ordinal (the faultSpec "workerN" id)
+    Cause cause = Cause::Clean;
+    std::string detail; ///< human-readable status ("exit 137", ...)
+};
+
+/** Spec spelling of an exit cause ("clean", "signal", ...). */
+const char *name(WorkerExit::Cause c);
+
 /** Aggregate execution statistics of one distributed run. */
 struct DistStats
 {
@@ -64,8 +106,10 @@ struct DistStats
     u64 decodes = 0;     ///< decoded streams built across workers
     u64 decodedHits = 0; ///< decoded-tier lookups served from worker RAM
     u64 decodedBytes = 0; ///< decoded bytes held across workers at exit
-    /** The same counters per worker, in worker-spawn order (the
-     *  per-worker tier report of vmmx_sweepd). */
+    /** The same counters per worker slot, accumulated across that
+     *  slot's spawns (the per-worker tier report of vmmx_sweepd).  A
+     *  spawn that dies before its Done handshake never reports; its
+     *  tier counters are lost with it. */
     std::vector<WorkerTierStats> perWorker;
     // Driver-side scheduling counters.  Jobs count grid points (the
     // journal/aggregation unit); groups count the batched trace groups
@@ -75,9 +119,32 @@ struct DistStats
     u64 groupsRun = 0;   ///< work units dispatched (trace groups)
     u64 steals = 0;      ///< units migrated off another worker's shard
     unsigned workers = 0;
+    // Supervision and fault recovery (zero on an undisturbed run).
+    u64 respawns = 0;        ///< worker processes respawned after a death
+    u64 reassignedUnits = 0; ///< in-flight units reclaimed from dead workers
+    u64 retries = 0;         ///< charged units re-dispatched for another try
+    u64 quarantinedUnits = 0; ///< units abandoned after maxUnitAttempts
+    /** Grid indices whose results were abandoned by quarantine; the
+     *  corresponding SweepResults are the unexecuted defaults. */
+    std::vector<u32> quarantinedPoints;
+    bool degraded = false; ///< fleet collapsed; remainder ran in-driver
+    u64 degradedJobs = 0;  ///< grid points executed in-driver after collapse
+    u64 abnormalExits = 0; ///< spawns that exited nonzero or by signal
+    u64 journalSkipped = 0; ///< corrupt/truncated journal entries skipped
+    /** Every worker spawn's fate, including post-run abnormal exits of
+     *  workers whose jobs all completed. */
+    std::vector<WorkerExit> exitCauses;
 
     std::string summary() const;
 };
+
+// Environment defaults for the supervision knobs (common/env.hh
+// semantics: unset = built-in default, junk warns and falls back).
+unsigned maxRespawnsFromEnv();     ///< $VMMX_MAX_RESPAWNS, default 3
+unsigned maxUnitAttemptsFromEnv(); ///< $VMMX_MAX_UNIT_ATTEMPTS, default 3
+u64 unitTimeoutMsFromEnv();        ///< $VMMX_UNIT_TIMEOUT_MS, default 0
+bool journalSyncFromEnv();         ///< $VMMX_JOURNAL_SYNC, default off
+std::string faultSpecFromEnv();    ///< $VMMX_FAULT_SPEC, default ""
 
 struct DistOptions
 {
@@ -106,16 +173,36 @@ struct DistOptions
     std::string execPath;
     /** Extra argv for execPath, before the appended "--worker --fd N". */
     std::vector<std::string> execArgs;
+    /** Times one worker slot is respawned after a death before the
+     *  slot is abandoned; 0 = never respawn. */
+    unsigned maxRespawns = maxRespawnsFromEnv();
+    /** Wall-clock deadline per dispatched unit, in milliseconds; a
+     *  worker that exceeds it is declared hung, SIGKILLed, and treated
+     *  as crashed.  0 disables the deadline. */
+    u64 unitTimeoutMs = unitTimeoutMsFromEnv();
+    /** Workers a single unit may kill before it is quarantined rather
+     *  than retried (>= 1). */
+    unsigned maxUnitAttempts = maxUnitAttemptsFromEnv();
+    /** Deterministic fault plan forwarded to every worker spawn (""
+     *  = none); grammar in common/env.hh (FaultAction). */
+    std::string faultSpec = faultSpecFromEnv();
+    /** fdatasync() the journal after every appended entry, so results
+     *  survive a host crash, not just a driver crash.  Default off:
+     *  the sync costs more than most grid points. */
+    bool journalSync = journalSyncFromEnv();
 };
 
 /** Stable signature of a grid (journal validation). */
 u64 gridSignature(const std::vector<SweepPoint> &points);
 
 /**
- * Run every point of @p points across worker processes and return the
- * results in submission order, bit-identical to the serial sweep.
- * Fatal on unrecoverable errors (worker death mid-job); an interrupted
- * journaled run resumes on the next invocation.
+ * Run every point of @p points across supervised worker processes and
+ * return the results in submission order, bit-identical to the serial
+ * sweep.  Worker failures are recovered (respawn, reassign, degrade to
+ * in-driver execution); only driver-side invariant violations are
+ * fatal.  Quarantined points -- see DistStats::quarantinedPoints --
+ * come back as default-constructed results.  An interrupted journaled
+ * run resumes on the next invocation.
  */
 std::vector<SweepResult> runSweep(const std::vector<SweepPoint> &points,
                                   const DistOptions &opts,

@@ -41,6 +41,8 @@ encode(const SetupMsg &m)
     w.varint(m.decodedBudget);
     w.boolean(m.decoded);
     w.boolean(m.quiet);
+    w.fixed32(m.workerId);
+    w.str(m.faultSpec);
     return w.take();
 }
 
@@ -56,6 +58,8 @@ decode(const std::vector<u8> &frame, SetupMsg &m)
     m.decodedBudget = r.varint();
     m.decoded = r.boolean();
     m.quiet = r.boolean();
+    m.workerId = r.fixed32();
+    m.faultSpec = r.str();
     return r.ok() && r.atEnd() && m.version == protocolVersion;
 }
 

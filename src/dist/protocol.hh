@@ -28,11 +28,13 @@
 namespace vmmx::dist
 {
 
-/** v3: tiered TraceRepository on the worker -- Setup carries the
- *  decoded-tier budget and switch, Stats reports per-tier counters.
- *  (v2 added JobGroup frames; Job/JobGroup/Result/Error and the journal
- *  format are unchanged since.) */
-constexpr u32 protocolVersion = 3;
+/** v4: supervised workers -- Setup carries the worker's spawn ordinal
+ *  (fault-scope identity; respawned replacements get fresh ordinals)
+ *  and the deterministic fault-injection spec the worker honors.
+ *  (v3 added the tiered-repository budgets and per-tier Stats; v2 added
+ *  JobGroup frames; Job/JobGroup/Result/Error and the journal format
+ *  are unchanged since.) */
+constexpr u32 protocolVersion = 4;
 
 enum class Msg : u8
 {
@@ -53,6 +55,10 @@ struct SetupMsg
     u64 decodedBudget = 0;  ///< worker decoded-tier budget (0 = unlimited)
     bool decoded = true;    ///< serve jobs from the decoded tier
     bool quiet = true;
+    u32 workerId = 0;       ///< spawn ordinal (fault scoping, stable per
+                            ///< process across respawns of a slot)
+    std::string faultSpec;  ///< deterministic fault plan ("" = none);
+                            ///< grammar in common/env.hh (FaultAction)
 };
 
 struct JobMsg

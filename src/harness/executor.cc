@@ -80,6 +80,9 @@ ExecutionPolicy::fromEnv()
     p.rawBudget = env::byteSize("VMMX_TRACE_CACHE_BUDGET");
     p.decodedBudget = env::byteSize("VMMX_DECODED_CACHE_BUDGET");
     p.storeDir = env::str("VMMX_TRACE_STORE");
+    p.maxRespawns = dist::maxRespawnsFromEnv();
+    p.unitTimeoutMs = dist::unitTimeoutMsFromEnv();
+    p.maxUnitAttempts = dist::maxUnitAttemptsFromEnv();
     return p;
 }
 
@@ -217,6 +220,9 @@ ProcessExecutor::run(const std::vector<SweepPoint> &points,
     dopts.journalPath = policy.journalPath;
     dopts.batch = policy.batch;
     dopts.decoded = policy.decoded;
+    dopts.maxRespawns = policy.maxRespawns;
+    dopts.unitTimeoutMs = policy.unitTimeoutMs;
+    dopts.maxUnitAttempts = policy.maxUnitAttempts;
     dopts.execPath = policy.execPath;
     dopts.execArgs = policy.execArgs;
     return dist::runSweep(points, dopts, policy.distStats);

@@ -67,6 +67,15 @@ struct ExecutionPolicy
     std::string storeDir;
     /** Crash-resume journal (Process backend); "" = no journal. */
     std::string journalPath;
+    /** Process backend: respawns per worker slot before it is
+     *  abandoned; 0 = never respawn (see DistOptions::maxRespawns). */
+    unsigned maxRespawns = 3;
+    /** Process backend: per-unit wall-clock deadline in ms; 0 = none
+     *  (see DistOptions::unitTimeoutMs). */
+    u64 unitTimeoutMs = 0;
+    /** Process backend: attempts before a worker-killing unit is
+     *  quarantined (see DistOptions::maxUnitAttempts). */
+    unsigned maxUnitAttempts = 3;
 
     // ---- runtime-only wiring (not part of the declarative spec) ------
     /** Repository to resolve traces against; null = the process-wide
@@ -83,7 +92,8 @@ struct ExecutionPolicy
     /** The built-in defaults with the legacy environment knobs layered
      *  on top: VMMX_SWEEP_BATCH, VMMX_SWEEP_DECODED,
      *  VMMX_TRACE_CACHE_BUDGET, VMMX_DECODED_CACHE_BUDGET,
-     *  VMMX_TRACE_STORE. */
+     *  VMMX_TRACE_STORE, VMMX_MAX_RESPAWNS, VMMX_UNIT_TIMEOUT_MS,
+     *  VMMX_MAX_UNIT_ATTEMPTS. */
     static ExecutionPolicy fromEnv();
 
     /** The repository this policy resolves traces through. */
@@ -97,7 +107,10 @@ struct ExecutionPolicy
                processes == o.processes && batch == o.batch &&
                decoded == o.decoded && rawBudget == o.rawBudget &&
                decodedBudget == o.decodedBudget &&
-               storeDir == o.storeDir && journalPath == o.journalPath;
+               storeDir == o.storeDir && journalPath == o.journalPath &&
+               maxRespawns == o.maxRespawns &&
+               unitTimeoutMs == o.unitTimeoutMs &&
+               maxUnitAttempts == o.maxUnitAttempts;
     }
 };
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/env.hh"
+#include "dist/driver.hh"
 #include "trace/trace_io.hh"
 
 namespace vmmx
@@ -34,6 +35,61 @@ static_assert(sizeof(RunResult) ==
 static_assert(sizeof(Config) == sizeof(std::map<std::string, std::string>),
               "Config gained a member the key/value codec cannot see: "
               "extend serialize()/deserialize() and this guard");
+
+// ExecutionPolicy and DistStats have members of mixed widths, so their
+// guards are member-for-member mirror structs: identical member types in
+// identical order guarantee identical sizeof, and a field added to the
+// real struct but not here (and not to its codec/report) trips the
+// assert.  ExecutionPolicy's declarative fields round-trip through the
+// [exec] spec section (formatStudySpec/parseStudySpec below); DistStats
+// feeds its own summary() and the vmmx_sweepd per-worker report.
+namespace
+{
+
+struct ExecutionPolicyMirror
+{
+    ExecutionPolicy::Backend backend;
+    unsigned threads;
+    unsigned processes;
+    bool batch;
+    bool decoded;
+    u64 rawBudget;
+    u64 decodedBudget;
+    std::string storeDir;
+    std::string journalPath;
+    unsigned maxRespawns;
+    u64 unitTimeoutMs;
+    unsigned maxUnitAttempts;
+    TraceRepository *repo;
+    dist::DistStats *distStats;
+    std::string execPath;
+    std::vector<std::string> execArgs;
+};
+
+struct DistStatsMirror
+{
+    u64 generations, hits, diskLoads, storeSaves, bytesResident, decodes,
+        decodedHits, decodedBytes;
+    std::vector<dist::WorkerTierStats> perWorker;
+    u64 jobsRun, jobsResumed, groupsRun, steals;
+    unsigned workers;
+    u64 respawns, reassignedUnits, retries, quarantinedUnits;
+    std::vector<u32> quarantinedPoints;
+    bool degraded;
+    u64 degradedJobs, abnormalExits, journalSkipped;
+    std::vector<dist::WorkerExit> exitCauses;
+};
+
+} // namespace
+
+static_assert(sizeof(ExecutionPolicy) == sizeof(ExecutionPolicyMirror),
+              "ExecutionPolicy gained or lost a field: update the [exec] "
+              "spec codec, operator==, ProcessExecutor's DistOptions "
+              "mapping, and this mirror in lockstep");
+
+static_assert(sizeof(dist::DistStats) == sizeof(DistStatsMirror),
+              "DistStats gained or lost a field: update summary(), the "
+              "vmmx_sweepd report, and this mirror in lockstep");
 
 void
 serialize(wire::Writer &w, const Config &c)
@@ -302,6 +358,9 @@ formatStudySpec(const StudySpec &spec)
     os << "store = " << e.storeDir << "\n";
     checkSpecValue("journal path", e.journalPath, /*listItem=*/false);
     os << "journal = " << e.journalPath << "\n";
+    os << "max_respawns = " << e.maxRespawns << "\n";
+    os << "unit_timeout_ms = " << e.unitTimeoutMs << "\n";
+    os << "max_unit_attempts = " << e.maxUnitAttempts << "\n";
 
     const ReportSpec &r = spec.report;
     os << "\n[report]\n";
@@ -440,6 +499,20 @@ parseStudySpec(const std::string &text, StudySpec &spec, std::string &err)
                 spec.exec.storeDir = value;
             } else if (key == "journal") {
                 spec.exec.journalPath = value;
+            } else if (key == "max_respawns") {
+                if (!parseUnsignedValue(spec.exec.maxRespawns))
+                    return false;
+            } else if (key == "unit_timeout_ms") {
+                // Plain count, not a byte size; 32 bits of milliseconds
+                // is 49 days of deadline, enough for any unit.
+                unsigned ms = 0;
+                if (!parseUnsignedValue(ms))
+                    return false;
+                spec.exec.unitTimeoutMs = ms;
+            } else if (key == "max_unit_attempts") {
+                if (!parseUnsignedValue(spec.exec.maxUnitAttempts) ||
+                    spec.exec.maxUnitAttempts == 0)
+                    return fail("'max_unit_attempts' must be >= 1");
             } else {
                 return fail("unknown [exec] key '" + key + "'");
             }

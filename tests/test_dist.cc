@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -68,6 +69,34 @@ class DistTest : public testing::Test
         Sweep sweep(opts);
         buildGrid(sweep);
         return sweep.runSerial();
+    }
+
+    /** The same grid as raw points, for driving dist::runSweep()
+     *  directly -- the fault-injection tests need DistOptions knobs the
+     *  SweepOptions wrapper does not carry. */
+    static std::vector<SweepPoint> gridPoints()
+    {
+        Sweep s;
+        buildGrid(s);
+        return s.points();
+    }
+
+    dist::DistOptions faultOpts() const
+    {
+        dist::DistOptions d;
+        d.processes = 2;
+        d.storeDir = storeDir();
+        d.quiet = true;
+        return d;
+    }
+
+    static size_t countCause(const dist::DistStats &s,
+                             dist::WorkerExit::Cause c)
+    {
+        size_t n = 0;
+        for (const auto &e : s.exitCauses)
+            n += e.cause == c;
+        return n;
     }
 
     fs::path dir_;
@@ -283,6 +312,7 @@ TEST_F(DistTest, TruncatedJournalResumesThePrefix)
     EXPECT_EQ(stats.jobsResumed, expect.size() - 1)
         << "exactly the damaged trailing entry should rerun";
     EXPECT_EQ(stats.jobsRun, 1u);
+    EXPECT_EQ(stats.journalSkipped, 1u);
     for (size_t i = 0; i < expect.size(); ++i)
         EXPECT_TRUE(rerun[i].sameRun(expect[i])) << "point " << i;
 }
@@ -311,6 +341,227 @@ TEST_F(DistTest, JournalForADifferentGridIsDiscarded)
     auto trace = repo.kernel("ltpfilt", SimdKind::VMMX128);
     RunResult direct = runTrace(makeMachine(SimdKind::VMMX128, 4), *trace);
     EXPECT_TRUE(got[0].result == direct);
+}
+
+// ---- fault injection: the supervisor's recovery paths --------------------
+//
+// These drive dist::runSweep() directly: DistOptions carries the fault
+// plan and supervision knobs.  Every scenario must end bit-identical to
+// the serial sweep -- recovery is invisible in the results and visible
+// only in DistStats.
+
+TEST_F(DistTest, KilledWorkerIsRespawnedAndStaysBitIdentical)
+{
+    auto expect = runSerial();
+    auto points = gridPoints();
+
+    dist::DistOptions dopts = faultOpts();
+    // Spawn 0 calls _exit(137) the moment its second unit arrives.
+    dopts.faultSpec = "kill-after-units=1@worker0";
+    dist::DistStats stats;
+    auto got = dist::runSweep(points, dopts, &stats);
+
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_TRUE(got[i].sameRun(expect[i])) << "point " << i;
+    EXPECT_EQ(stats.jobsRun, expect.size());
+    EXPECT_EQ(stats.abnormalExits, 1u);
+    EXPECT_EQ(countCause(stats, dist::WorkerExit::Cause::Exit), 1u);
+    EXPECT_EQ(stats.retries, 1u) << "only the executing unit is charged";
+    EXPECT_GE(stats.reassignedUnits, 1u);
+    EXPECT_FALSE(stats.degraded);
+    EXPECT_TRUE(stats.quarantinedPoints.empty());
+}
+
+TEST_F(DistTest, CorruptResultFrameIsFatalToTheWorkerNotTheRun)
+{
+    auto expect = runSerial();
+    auto points = gridPoints();
+
+    dist::DistOptions dopts = faultOpts();
+    // Spawn 0 wrecks the type byte of its third result frame; the
+    // driver must kill the babbling worker and re-run what was lost.
+    dopts.faultSpec = "corrupt-frame=3@worker0";
+    dist::DistStats stats;
+    auto got = dist::runSweep(points, dopts, &stats);
+
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_TRUE(got[i].sameRun(expect[i])) << "point " << i;
+    EXPECT_EQ(stats.jobsRun, expect.size());
+    EXPECT_EQ(countCause(stats, dist::WorkerExit::Cause::Malformed), 1u);
+    EXPECT_EQ(stats.abnormalExits, 1u);
+    EXPECT_GE(stats.reassignedUnits, 1u);
+    EXPECT_FALSE(stats.degraded);
+}
+
+TEST_F(DistTest, HungWorkerIsKilledAtTheDeadline)
+{
+    auto expect = runSerial();
+    auto points = gridPoints();
+
+    dist::DistOptions dopts = faultOpts();
+    // Spawn 0 hangs forever on its first unit; the per-unit deadline
+    // must declare it hung, SIGKILL it, and recover.
+    dopts.faultSpec = "stall@worker0";
+    dopts.unitTimeoutMs = 1500;
+    dist::DistStats stats;
+    auto got = dist::runSweep(points, dopts, &stats);
+
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_TRUE(got[i].sameRun(expect[i])) << "point " << i;
+    EXPECT_GE(countCause(stats, dist::WorkerExit::Cause::Hung), 1u);
+    EXPECT_FALSE(stats.degraded);
+    EXPECT_TRUE(stats.quarantinedPoints.empty());
+}
+
+TEST_F(DistTest, PoisonUnitIsQuarantinedAfterMaxAttempts)
+{
+    auto expect = runSerial();
+    auto points = gridPoints();
+
+    dist::DistOptions dopts = faultOpts();
+    // Every spawn dies on the unit containing grid point 5: attempt 1
+    // kills one worker, attempt 2 hits maxUnitAttempts and the unit is
+    // abandoned instead of grinding the fleet down forever.
+    dopts.faultSpec = "kill-on-point=5";
+    dopts.maxUnitAttempts = 2;
+    dist::DistStats stats;
+    auto got = dist::runSweep(points, dopts, &stats);
+
+    ASSERT_EQ(got.size(), expect.size());
+    EXPECT_EQ(stats.quarantinedUnits, 1u);
+    ASSERT_FALSE(stats.quarantinedPoints.empty());
+    EXPECT_NE(std::find(stats.quarantinedPoints.begin(),
+                        stats.quarantinedPoints.end(), 5u),
+              stats.quarantinedPoints.end());
+    std::vector<bool> lost(expect.size(), false);
+    for (u32 i : stats.quarantinedPoints)
+        lost[i] = true;
+    for (size_t i = 0; i < expect.size(); ++i) {
+        if (lost[i])
+            EXPECT_EQ(got[i].traceLength, 0u)
+                << "quarantined point " << i << " must not have run";
+        else
+            EXPECT_TRUE(got[i].sameRun(expect[i])) << "point " << i;
+    }
+    EXPECT_EQ(stats.abnormalExits, 2u);
+    EXPECT_EQ(stats.jobsRun,
+              expect.size() - stats.quarantinedPoints.size());
+    EXPECT_FALSE(stats.degraded);
+}
+
+TEST_F(DistTest, FleetCollapseDegradesToInDriverExecution)
+{
+    auto expect = runSerial();
+    auto points = gridPoints();
+
+    dist::DistOptions dopts = faultOpts();
+    // Every spawn dies on its first unit and each slot may respawn only
+    // once: four deaths and the fleet is gone with the grid untouched.
+    // The driver must finish the sweep itself, still bit-identical.
+    dopts.faultSpec = "kill-after-units=0";
+    dopts.maxRespawns = 1;
+    dist::DistStats stats;
+    auto got = dist::runSweep(points, dopts, &stats);
+
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_TRUE(got[i].sameRun(expect[i])) << "point " << i;
+    EXPECT_TRUE(stats.degraded);
+    EXPECT_EQ(stats.degradedJobs, expect.size());
+    EXPECT_EQ(stats.jobsRun, 0u);
+    EXPECT_EQ(stats.respawns, 2u);
+    EXPECT_EQ(stats.abnormalExits, 4u);
+    EXPECT_EQ(stats.exitCauses.size(), 4u);
+    EXPECT_TRUE(stats.quarantinedPoints.empty());
+}
+
+TEST_F(DistTest, PostRunAbnormalExitIsRecorded)
+{
+    auto expect = runSerial();
+    auto points = gridPoints();
+
+    dist::DistOptions dopts = faultOpts();
+    // Workers finish every job and the Done/Stats handshake, then exit
+    // 7 instead of 0 -- the run succeeded but the exits must not be
+    // reported as clean.
+    dopts.faultSpec = "exit-code=7";
+    dist::DistStats stats;
+    auto got = dist::runSweep(points, dopts, &stats);
+
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_TRUE(got[i].sameRun(expect[i])) << "point " << i;
+    EXPECT_EQ(stats.jobsRun, expect.size());
+    EXPECT_EQ(stats.respawns, 0u);
+    EXPECT_EQ(stats.abnormalExits, 2u);
+    ASSERT_EQ(stats.exitCauses.size(), 2u);
+    for (const auto &e : stats.exitCauses) {
+        EXPECT_EQ(e.cause, dist::WorkerExit::Cause::Exit);
+        EXPECT_NE(e.detail.find("exit 7"), std::string::npos) << e.detail;
+        EXPECT_NE(e.detail.find("completing its jobs"), std::string::npos)
+            << e.detail;
+    }
+}
+
+TEST_F(DistTest, FaultyRunJournalsCompletelyAndResumes)
+{
+    auto expect = runSerial();
+    auto points = gridPoints();
+
+    dist::DistOptions dopts = faultOpts();
+    dopts.journalPath = journalPath();
+    dopts.journalSync = true; // the fdatasync path must survive faults too
+    dopts.faultSpec = "kill-after-units=1@worker0";
+    dist::DistStats first;
+    auto got = dist::runSweep(points, dopts, &first);
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_TRUE(got[i].sameRun(expect[i])) << "point " << i;
+    EXPECT_EQ(first.abnormalExits, 1u);
+
+    // The journal a fault-recovered run leaves behind is complete.
+    dopts.faultSpec.clear();
+    dist::DistStats second;
+    auto rerun = dist::runSweep(points, dopts, &second);
+    EXPECT_EQ(second.jobsResumed, expect.size());
+    EXPECT_EQ(second.jobsRun, 0u);
+    EXPECT_EQ(second.workers, 0u);
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_TRUE(rerun[i].sameRun(expect[i])) << "resumed point " << i;
+}
+
+TEST_F(DistTest, MidFileJournalCorruptionSkipsOnlyThatEntry)
+{
+    auto expect = runSerial();
+    auto points = gridPoints();
+
+    dist::DistOptions dopts = faultOpts();
+    dopts.journalPath = journalPath();
+    dist::runSweep(points, dopts);
+
+    // Flip a byte inside the FIRST entry's payload (16-byte header,
+    // 4-byte length prefix): the framing stays intact, so only this one
+    // entry is damaged and everything after it must still restore.
+    {
+        std::fstream f(journalPath(), std::ios::in | std::ios::out |
+                                          std::ios::binary);
+        f.seekg(16 + 4 + 2);
+        char c;
+        f.get(c);
+        f.seekp(16 + 4 + 2);
+        f.put(char(c ^ 0x01));
+    }
+
+    dist::DistStats stats;
+    auto rerun = dist::runSweep(points, dopts, &stats);
+    EXPECT_EQ(stats.journalSkipped, 1u);
+    EXPECT_EQ(stats.jobsResumed, expect.size() - 1);
+    EXPECT_EQ(stats.jobsRun, 1u);
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_TRUE(rerun[i].sameRun(expect[i])) << "point " << i;
 }
 
 TEST_F(DistTest, TraceStoreRoundTripAndCorruptionTolerance)

@@ -81,6 +81,9 @@ raw_budget = 64k
 decoded_budget = 2M
 store = /tmp/some-store
 journal = /tmp/some.vmjl
+max_respawns = 5
+unit_timeout_ms = 2500
+max_unit_attempts = 4
 
 [report]
 layout = pivot
@@ -114,6 +117,9 @@ precision = 3
     EXPECT_EQ(spec.exec.decodedBudget, u64(2) << 20);
     EXPECT_EQ(spec.exec.storeDir, "/tmp/some-store");
     EXPECT_EQ(spec.exec.journalPath, "/tmp/some.vmjl");
+    EXPECT_EQ(spec.exec.maxRespawns, 5u);
+    EXPECT_EQ(spec.exec.unitTimeoutMs, 2500u);
+    EXPECT_EQ(spec.exec.maxUnitAttempts, 4u);
     EXPECT_EQ(spec.report.layout, ReportSpec::Layout::Pivot);
     EXPECT_EQ(spec.report.pivot, ReportSpec::Metric::Ipc);
     EXPECT_EQ(spec.report.baselineKind, SimdKind::MMX128);
@@ -147,6 +153,10 @@ TEST_F(StudyTest, SpecFileDefaultsAndFromFile)
     EXPECT_EQ(spec.ways, (std::vector<unsigned>{2, 4, 8}));
     EXPECT_TRUE(spec.overrideSets.empty());
     EXPECT_EQ(spec.report.layout, ReportSpec::Layout::Points);
+    // Supervision knobs keep their built-in defaults when unspecified.
+    EXPECT_EQ(spec.exec.maxRespawns, 3u);
+    EXPECT_EQ(spec.exec.unitTimeoutMs, 0u);
+    EXPECT_EQ(spec.exec.maxUnitAttempts, 3u);
 
     // The facade's specText round-trips too.
     Study again = Study::fromSpecText(study.specText());
@@ -178,6 +188,13 @@ TEST_F(StudyTest, SpecFileParseErrors)
     EXPECT_FALSE(parseStudySpec("[exec]\nbackend = cloud\n", spec, err));
     EXPECT_FALSE(parseStudySpec("[exec]\nbatch = maybe\n", spec, err));
     EXPECT_FALSE(parseStudySpec("[exec]\nraw_budget = -64k\n", spec, err));
+    EXPECT_FALSE(parseStudySpec("[exec]\nmax_respawns = some\n", spec, err));
+    EXPECT_FALSE(parseStudySpec("[exec]\nunit_timeout_ms = -5\n",
+                                spec, err));
+    // Zero attempts would mean "quarantine everything on sight".
+    EXPECT_FALSE(parseStudySpec("[exec]\nmax_unit_attempts = 0\n",
+                                spec, err));
+    EXPECT_NE(err.find("max_unit_attempts"), std::string::npos);
     EXPECT_FALSE(parseStudySpec("[report]\nmetrics = cycles,joules\n",
                                 spec, err));
     EXPECT_FALSE(parseStudySpec("[report]\nbaseline = mmx64\n", spec, err));

@@ -57,6 +57,12 @@ usage(int rc)
         "                  (serial, threads, processes)\n"
         "  --threads N     override the spec's thread count\n"
         "  --processes N   override the spec's worker-process count\n"
+        "  --max-respawns N      override the spec's per-slot worker\n"
+        "                  respawn budget (processes backend)\n"
+        "  --unit-timeout-ms N   override the spec's per-unit deadline\n"
+        "                  (processes backend; 0 = no deadline)\n"
+        "  --max-unit-attempts N override how many workers one unit may\n"
+        "                  kill before quarantine (processes backend)\n"
         "  --report-only   print only the report tables (no title or\n"
         "                  timing lines; what CI diffs against benches)\n"
         "  --dump-spec     print the canonical spec text and exit\n"
@@ -81,6 +87,8 @@ main(int argc, char **argv)
     bool backendOverride = false;
     ExecutionPolicy::Backend backend = ExecutionPolicy::Backend::ThreadPool;
     int threadsOverride = -1, processesOverride = -1;
+    int maxRespawnsOverride = -1, unitTimeoutOverride = -1;
+    int maxAttemptsOverride = -1;
 
     auto value = [&](int &i) -> std::string {
         if (i + 1 >= argc)
@@ -106,6 +114,18 @@ main(int argc, char **argv)
             processesOverride = int(parseUnsigned("--processes", value(i)));
             if (processesOverride == 0)
                 fatal("--processes must be >= 1");
+        }
+        else if (arg == "--max-respawns")
+            maxRespawnsOverride =
+                int(parseUnsigned("--max-respawns", value(i)));
+        else if (arg == "--unit-timeout-ms")
+            unitTimeoutOverride =
+                int(parseUnsigned("--unit-timeout-ms", value(i)));
+        else if (arg == "--max-unit-attempts") {
+            maxAttemptsOverride =
+                int(parseUnsigned("--max-unit-attempts", value(i)));
+            if (maxAttemptsOverride == 0)
+                fatal("--max-unit-attempts must be >= 1");
         }
         else if (arg == "--report-only")
             reportOnly = true;
@@ -136,6 +156,12 @@ main(int argc, char **argv)
         spec.exec.threads = unsigned(threadsOverride);
     if (processesOverride > 0)
         spec.exec.processes = unsigned(processesOverride);
+    if (maxRespawnsOverride >= 0)
+        spec.exec.maxRespawns = unsigned(maxRespawnsOverride);
+    if (unitTimeoutOverride >= 0)
+        spec.exec.unitTimeoutMs = u64(unitTimeoutOverride);
+    if (maxAttemptsOverride > 0)
+        spec.exec.maxUnitAttempts = unsigned(maxAttemptsOverride);
     spec.exec.execPath = selfPath(argv[0]);
 
     if (dumpSpec) {

@@ -80,6 +80,21 @@ usage(int rc)
         "                     0 = unlimited)\n"
         "  --journal FILE     crash-resume journal; rerun with the same\n"
         "                     file to resume an interrupted sweep\n"
+        "  --journal-sync     fdatasync the journal after every entry so\n"
+        "                     it survives a host crash (or set\n"
+        "                     VMMX_JOURNAL_SYNC=1)\n"
+        "  --max-respawns N   respawns per dead worker slot before it is\n"
+        "                     abandoned (default $VMMX_MAX_RESPAWNS or 3)\n"
+        "  --unit-timeout-ms N  per-unit wall-clock deadline; a worker\n"
+        "                     past it is killed and treated as crashed\n"
+        "                     (default $VMMX_UNIT_TIMEOUT_MS or 0 = off)\n"
+        "  --max-unit-attempts N  workers one unit may kill before it is\n"
+        "                     quarantined instead of retried (default\n"
+        "                     $VMMX_MAX_UNIT_ATTEMPTS or 3)\n"
+        "  --fault-spec SPEC  deterministic fault injection plan, e.g.\n"
+        "                     'kill-after-units=3@worker1,corrupt-frame=7'\n"
+        "                     (default $VMMX_FAULT_SPEC; see README\n"
+        "                     \"Fault tolerance\" for the grammar)\n"
         "  --no-batch         one point per dispatch instead of batched\n"
         "                     trace groups (or set VMMX_SWEEP_BATCH=0)\n"
         "  --no-decoded       decode per dispatch instead of serving the\n"
@@ -148,7 +163,25 @@ main(int argc, char **argv)
             dopts.decodedBudget = parseBudget("--decoded-budget", value(i));
         else if (arg == "--journal")
             dopts.journalPath = value(i);
-        else if (arg == "--no-batch")
+        else if (arg == "--journal-sync")
+            dopts.journalSync = true;
+        else if (arg == "--max-respawns")
+            dopts.maxRespawns = parseUnsigned("--max-respawns", value(i));
+        else if (arg == "--unit-timeout-ms")
+            dopts.unitTimeoutMs =
+                parseUnsigned("--unit-timeout-ms", value(i));
+        else if (arg == "--max-unit-attempts") {
+            dopts.maxUnitAttempts =
+                parseUnsigned("--max-unit-attempts", value(i));
+            if (dopts.maxUnitAttempts == 0)
+                fatal("--max-unit-attempts must be >= 1");
+        } else if (arg == "--fault-spec") {
+            dopts.faultSpec = value(i);
+            std::vector<env::FaultAction> plan;
+            std::string err;
+            if (!env::parseFaultSpec(dopts.faultSpec.c_str(), plan, err))
+                fatal("--fault-spec: %s", err.c_str());
+        } else if (arg == "--no-batch")
             dopts.batch = false;
         else if (arg == "--no-decoded")
             dopts.decoded = false;
@@ -208,6 +241,22 @@ main(int argc, char **argv)
                   << " decodes, " << w.decodedHits << " decoded hits, "
                   << w.bytesResident / 1024 << " KiB raw + "
                   << w.decodedBytes / 1024 << " KiB decoded resident\n";
+    }
+    // Every spawn's fate (the "dist-" prefix keeps these filterable:
+    // respawn ordinals and exit details legitimately differ run to run).
+    for (const auto &e : stats.exitCauses)
+        std::cout << "dist-exit: slot " << e.slot << " spawn " << e.spawnId
+                  << " " << dist::name(e.cause) << " (" << e.detail
+                  << ")\n";
+
+    // Quarantined points never executed; their rows above are default
+    // zeros.  That must not read as success.
+    if (!stats.quarantinedPoints.empty()) {
+        std::cout << "vmmx_sweepd: FAILED -- "
+                  << stats.quarantinedPoints.size()
+                  << " grid points quarantined (their units kept killing "
+                     "workers)\n";
+        return 3;
     }
 
     if (check) {
