@@ -74,6 +74,10 @@ int
 main()
 {
     setQuiet(true);
+    // All headline timings run with telemetry disabled (the default);
+    // pin it so a stray VMMX_TELEMETRY=1 can't skew the baselines.  The
+    // explicit enabled-vs-disabled comparison happens at the end.
+    telemetry::setEnabled(false);
 
     // 6 kernels x 4 flavours x 3 widths = 72 points, 24 distinct traces
     // (so 24 trace groups of 3 widths each).  The motion/GSM/block
@@ -171,6 +175,7 @@ main()
     // pays the full-trace decode (raw tier pre-warmed, decoded tier
     // cold), "warm group" replays the decoded-tier stream.  This is the
     // per-group cost every group after the first now avoids.
+    double tDecodeFirst = 0, tDecodeWarm = 0;
     {
         const TraceKey key{false, "idct", SimdKind::VMMX128,
                            TraceRepository::kernelImageBytes,
@@ -218,6 +223,8 @@ main()
         amort.print(std::cout);
         std::cout << "decode amortization (warm vs first group): "
                   << TextTable::num(tFirst / tWarm) << "x\n";
+        tDecodeFirst = tFirst;
+        tDecodeWarm = tWarm;
     }
 
     // Repository summary: the per-tier occupancy/hit table, including
@@ -244,6 +251,68 @@ main()
               << TextTable::num(speedup) << "x ("
               << (speedup >= 2.0 ? "PASS" : "below 2x on this host")
               << ")\n";
+
+    // ---- telemetry overhead: the same batched sweep, spans on --------
+    // tBatched above ran with telemetry disabled -- the default mode,
+    // whose only cost over not compiling the hooks in at all is one
+    // relaxed atomic load + branch per unit/span site.  Rerun the
+    // batched sweep with spans and per-unit records enabled and compare:
+    // the delta is the full tracing cost, and results must stay
+    // bit-identical (telemetry is purely observational).
+    double tTelem = 1e9;
+    size_t spansPerRun = 0;
+    {
+        telemetry::setEnabled(true);
+        std::vector<SweepResult> telem;
+        for (int r = 0; r < reps; ++r) {
+            telemetry::Tracer::instance().clear();
+            telemetry::Registry::instance().clear();
+            auto t0 = clock::now();
+            telem = batchSweep.run();
+            tTelem = std::min(tTelem, seconds(t0, clock::now()));
+        }
+        spansPerRun = telemetry::Tracer::instance().size();
+        telemetry::Tracer::instance().clear();
+        telemetry::Registry::instance().clear();
+        telemetry::setEnabled(false);
+        for (size_t i = 0; i < baseline.size(); ++i)
+            if (!baseline[i].sameRun(telem[i])) {
+                identical = false;
+                std::cout << "MISMATCH telemetry-on at point " << i << " ("
+                          << baseline[i].point.label() << ")\n";
+            }
+    }
+    double telemOverheadPct = (tTelem / tBatched - 1.0) * 100.0;
+    std::cout << "telemetry disabled (baseline above): "
+              << TextTable::num(tBatched, 3)
+              << " s; enabled (spans + unit records, " << spansPerRun
+              << " spans/run): " << TextTable::num(tTelem, 3) << " s -> "
+              << TextTable::num(telemOverheadPct, 1)
+              << "% overhead; disabled-mode overhead is one atomic "
+                 "load+branch per span site\n";
+
+    // Machine-readable perf record for CI trend tracking.
+    PerfRecord rec("sweep");
+    rec.note("grid", std::to_string(nPoints) + " points, " +
+                         std::to_string(kernels.size() * kinds.size()) +
+                         " trace groups");
+    rec.metric("points", double(nPoints));
+    rec.metric("serialUncached.pointsPerSec", nPoints / tBase);
+    rec.metric("serialCached.pointsPerSec", nPoints / tCached);
+    rec.metric("sweepUnbatched.pointsPerSec", nPoints / tPooled);
+    rec.metric("sweepBatched.pointsPerSec", nPoints / tBatched);
+    rec.metric("batchedSpeedupVsSerialUncached", speedup);
+    rec.metric("batchedSpeedupVsUnbatched", batchSpeedup);
+    rec.metric("decode.firstGroupSec", tDecodeFirst);
+    rec.metric("decode.warmGroupSec", tDecodeWarm);
+    rec.metric("decode.amortization", tDecodeFirst / tDecodeWarm);
+    rec.metric("telemetry.enabledSec", tTelem);
+    rec.metric("telemetry.disabledSec", tBatched);
+    rec.metric("telemetry.enabledOverheadPct", telemOverheadPct);
+    rec.metric("telemetry.spansPerRun", double(spansPerRun));
+    rec.metric("decodedTierHits", double(decodedHits));
+    if (rec.write())
+        std::cout << "perf record written to " << rec.path() << '\n';
 
     return identical && decodedHits > 0 ? 0 : 1;
 }

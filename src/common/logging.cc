@@ -3,6 +3,12 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <string_view>
+
+#include <unistd.h>
+
+#include "common/types.hh"
 
 namespace vmmx
 {
@@ -13,10 +19,48 @@ namespace
  *  against warn()/inform() without UB. */
 std::atomic<bool> quietFlag{false};
 
+std::atomic<int> logWorkerId{-1};
+
+u64
+monotonicNs()
+{
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return u64(ts.tv_sec) * 1000000000ull + u64(ts.tv_nsec);
+}
+
+/** $VMMX_LOG_PREFIX is parsed directly (not via env.hh -- env parsing
+ *  warns through this file, so going through it would recurse). */
+bool
+prefixEnabled()
+{
+    static const bool on = [] {
+        const char *v = std::getenv("VMMX_LOG_PREFIX");
+        return v && *v && std::string_view(v) != "0";
+    }();
+    return on;
+}
+
 void
 vreport(const char *tag, const char *fmt, va_list ap)
 {
-    std::fprintf(stderr, "%s: ", tag);
+    if (prefixEnabled()) {
+        static const u64 t0 = monotonicNs();
+        u64 ms = (monotonicNs() - t0) / 1000000ull;
+        u64 us = ((monotonicNs() - t0) / 1000ull) % 1000ull;
+        int worker = logWorkerId.load(std::memory_order_relaxed);
+        if (worker >= 0) {
+            std::fprintf(stderr, "%s: [%d/worker%d +%llu.%03llu] ", tag,
+                         int(getpid()), worker, (unsigned long long)ms,
+                         (unsigned long long)us);
+        } else {
+            std::fprintf(stderr, "%s: [%d +%llu.%03llu] ", tag,
+                         int(getpid()), (unsigned long long)ms,
+                         (unsigned long long)us);
+        }
+    } else {
+        std::fprintf(stderr, "%s: ", tag);
+    }
     std::vfprintf(stderr, fmt, ap);
     std::fprintf(stderr, "\n");
 }
@@ -26,6 +70,12 @@ void
 setQuiet(bool quiet)
 {
     quietFlag.store(quiet, std::memory_order_relaxed);
+}
+
+void
+setLogWorkerId(int workerId)
+{
+    logWorkerId.store(workerId, std::memory_order_relaxed);
 }
 
 bool

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <sstream>
 
 #include "common/logging.hh"
 
@@ -22,8 +23,10 @@ Histogram::Histogram(StatGroup *parent, const std::string &name,
     : name_(name), desc_(desc), min_(min), max_(max),
       buckets_(buckets, 0)
 {
-    if (max <= min)
-        fatal("histogram '%s': max (%llu) must exceed min (%llu)",
+    // min == max is a valid degenerate range: every sample lands in the
+    // underflow or overflow bucket and the bucket array stays untouched.
+    if (max < min)
+        fatal("histogram '%s': max (%llu) must not be below min (%llu)",
               name.c_str(), (unsigned long long)max,
               (unsigned long long)min);
     if (buckets == 0)
@@ -35,6 +38,8 @@ Histogram::Histogram(StatGroup *parent, const std::string &name,
 void
 Histogram::sample(u64 v, u64 count)
 {
+    if (count == 0)
+        return; // must not perturb minSample_/maxSample_
     samples_ += count;
     sum_ += v * count;
     minSample_ = std::min(minSample_, v);
@@ -44,7 +49,11 @@ Histogram::sample(u64 v, u64 count)
     } else if (v >= max_) {
         overflow_ += count;
     } else {
-        size_t idx = size_t((v - min_) * buckets_.size() / (max_ - min_));
+        // Widen the scaling multiply: (v - min_) * buckets can exceed
+        // 64 bits for wide ranges even though the quotient fits.
+        using u128 = unsigned __int128;
+        size_t idx =
+            size_t(u128(v - min_) * buckets_.size() / (max_ - min_));
         buckets_[idx] += count;
     }
 }
@@ -69,21 +78,38 @@ Formula::Formula(StatGroup *parent, const std::string &name,
 void
 StatGroup::dump(std::ostream &os) const
 {
+    // Deterministic output: sorted by stat name, independent of
+    // registration order.
+    std::vector<std::pair<std::string, std::string>> lines;
+    std::ostringstream line;
+    auto push = [&](const std::string &stat) {
+        lines.emplace_back(stat, line.str());
+        line.str("");
+    };
     for (const Counter *c : counters_) {
-        os << name_ << '.' << c->name() << ' ' << c->value()
-           << "  # " << c->desc() << '\n';
+        line << name_ << '.' << c->name() << ' ' << c->value()
+             << "  # " << c->desc() << '\n';
+        push(c->name());
     }
     for (const Histogram *h : histograms_) {
-        os << name_ << '.' << h->name() << ".samples " << h->samples()
-           << "  # " << h->desc() << '\n';
-        os << name_ << '.' << h->name() << ".mean "
-           << std::fixed << std::setprecision(3) << h->mean() << '\n';
+        line << name_ << '.' << h->name() << ".samples " << h->samples()
+             << "  # " << h->desc() << '\n'
+             << name_ << '.' << h->name() << ".mean "
+             << std::fixed << std::setprecision(3) << h->mean() << '\n';
+        push(h->name());
     }
     for (const Formula *f : formulas_) {
-        os << name_ << '.' << f->name() << ' '
-           << std::fixed << std::setprecision(4) << f->value()
-           << "  # " << f->desc() << '\n';
+        line << name_ << '.' << f->name() << ' '
+             << std::fixed << std::setprecision(4) << f->value()
+             << "  # " << f->desc() << '\n';
+        push(f->name());
     }
+    std::stable_sort(lines.begin(), lines.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    for (const auto &[stat, text] : lines)
+        os << text;
 }
 
 void

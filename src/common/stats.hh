@@ -119,6 +119,11 @@ class StatGroup
 
     const std::string &name() const { return name_; }
     const std::vector<Counter *> &counters() const { return counters_; }
+    const std::vector<Histogram *> &histograms() const
+    {
+        return histograms_;
+    }
+    const std::vector<Formula *> &formulas() const { return formulas_; }
 
   private:
     std::string name_;

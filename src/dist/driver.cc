@@ -21,6 +21,7 @@
 #include <unistd.h>
 
 #include "common/env.hh"
+#include "common/telemetry.hh"
 #include "dist/protocol.hh"
 #include "dist/worker.hh"
 #include "harness/executor.hh"
@@ -85,6 +86,8 @@ struct WorkerProc
     unsigned respawnsUsed = 0;
     bool respawnPending = false;
     u64 respawnDue = 0; ///< nowMs() timestamp the respawn fires at
+    u64 diedNs = 0;     ///< death time of the pending respawn's
+                        ///< predecessor (telemetry backoff span)
 
     bool live() const { return fd >= 0; }
 
@@ -143,12 +146,16 @@ class Journal
     void
     append(const std::vector<u8> &payload)
     {
+        TELEMETRY_SPAN("journal.write");
         wire::Writer frame;
         frame.fixed32(u32(payload.size()));
         frame.bytes(payload.data(), payload.size());
         frame.fixed64(wire::fnv1a(payload.data(), payload.size()));
         writeAll(frame);
         commit();
+        if (telemetry::enabled())
+            telemetry::Registry::instance().addCounter(
+                "dist.journal.appends", 1);
     }
 
     void
@@ -182,8 +189,13 @@ class Journal
     void
     commit()
     {
-        if (sync_ && ::fdatasync(fd_) != 0)
+        if (!sync_)
+            return;
+        if (::fdatasync(fd_) != 0)
             warn("journal fdatasync failed: %s", std::strerror(errno));
+        if (telemetry::enabled())
+            telemetry::Registry::instance().addCounter(
+                "dist.journal.syncs", 1);
     }
 
     int fd_ = -1;
@@ -388,6 +400,36 @@ DistStats::summary() const
     return os.str();
 }
 
+void
+publishMetrics(const DistStats &st)
+{
+    telemetry::Registry &reg = telemetry::Registry::instance();
+    reg.setGauge("dist.workers", st.workers);
+    reg.setGauge("dist.jobsRun", st.jobsRun);
+    reg.setGauge("dist.jobsResumed", st.jobsResumed);
+    reg.setGauge("dist.groupsRun", st.groupsRun);
+    reg.setGauge("dist.steals", st.steals);
+    reg.setGauge("dist.respawns", st.respawns);
+    reg.setGauge("dist.reassignedUnits", st.reassignedUnits);
+    reg.setGauge("dist.retries", st.retries);
+    reg.setGauge("dist.quarantinedUnits", st.quarantinedUnits);
+    reg.setGauge("dist.quarantinedPoints", st.quarantinedPoints.size());
+    reg.setGauge("dist.degraded", st.degraded ? 1 : 0);
+    reg.setGauge("dist.degradedJobs", st.degradedJobs);
+    reg.setGauge("dist.abnormalExits", st.abnormalExits);
+    reg.setGauge("dist.journalSkipped", st.journalSkipped);
+    // The worker fleet's trace-repository tier aggregate: the "repo"
+    // section of a distributed run's metrics export.
+    reg.setGauge("repo.generations", st.generations);
+    reg.setGauge("repo.raw.hits", st.hits);
+    reg.setGauge("repo.diskLoads", st.diskLoads);
+    reg.setGauge("repo.storeSaves", st.storeSaves);
+    reg.setGauge("repo.raw.bytes", st.bytesResident);
+    reg.setGauge("repo.decodes", st.decodes);
+    reg.setGauge("repo.decoded.hits", st.decodedHits);
+    reg.setGauge("repo.decoded.bytes", st.decodedBytes);
+}
+
 const char *
 name(WorkerExit::Cause c)
 {
@@ -541,6 +583,7 @@ runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
     setup.decoded = opts.decoded;
     setup.quiet = opts.quiet;
     setup.faultSpec = opts.faultSpec;
+    setup.telemetry = telemetry::enabled();
 
     u32 nextSpawnId = 0;
     std::vector<WorkerProc> workers(n);
@@ -644,6 +687,8 @@ runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
             u64 backoff = std::min(
                 backoffBaseMs << (w.respawnsUsed - 1), backoffCapMs);
             w.respawnDue = nowMs() + backoff;
+            if (telemetry::enabled())
+                w.diedNs = telemetry::nowNs();
         }
     };
 
@@ -652,6 +697,7 @@ runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
      *  unit sends nothing.  @return false when the write fails (caller
      *  must treat the worker as dead). */
     auto sendUnit = [&](WorkerProc &w, u32 unit) -> bool {
+        TELEMETRY_SPAN("wire.encode");
         std::vector<u32> indices;
         for (u32 i : units[unit])
             if (!have[i] && !failed[i])
@@ -737,6 +783,18 @@ runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
             if (remaining == 0)
                 continue;
             ++st.respawns;
+            // One span covering death -> respawn: the backoff wait is a
+            // real scheduling cost the timeline should show.
+            if (telemetry::enabled() && w.diedNs) {
+                telemetry::SpanRecord rec;
+                rec.name = "respawn.backoff";
+                rec.detail = "slot " + std::to_string(w.slot);
+                rec.startNs = w.diedNs;
+                rec.durNs = telemetry::nowNs() - w.diedNs;
+                rec.pid = u64(::getpid());
+                telemetry::Tracer::instance().record(std::move(rec));
+                w.diedNs = 0;
+            }
             startWorker(w);
         }
     };
@@ -803,6 +861,20 @@ runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
             if (w.live() && !w.statsSeen)
                 return true;
         return false;
+    };
+
+    telemetry::Progress progress("sweep", points.size());
+    auto inflightExtra = [&]() {
+        if (telemetry::progressMode() == telemetry::ProgressMode::Off)
+            return std::string();
+        std::string s;
+        for (const auto &w : workers) {
+            if (!s.empty())
+                s += ' ';
+            s += 'w' + std::to_string(w.slot) + ':' +
+                 (w.live() ? std::to_string(w.inflight.size()) : "dead");
+        }
+        return s;
     };
 
     std::vector<u8> frame;
@@ -905,6 +977,26 @@ runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
                         workerDied(*w, WorkerExit::Cause::Lost,
                                    "write failed during refill", false);
                 }
+                progress.update(points.size() - remaining,
+                                inflightExtra());
+                break;
+              }
+              case Msg::Event: {
+                EventMsg m;
+                if (!decode(frame, m)) {
+                    workerDied(*w, WorkerExit::Cause::Malformed,
+                               "malformed event frame", true);
+                    break;
+                }
+                telemetry::Tracer &tracer = telemetry::Tracer::instance();
+                tracer.setProcessName(
+                    m.pid, "worker slot " + std::to_string(w->slot) +
+                               " spawn " + std::to_string(m.workerId));
+                for (telemetry::SpanRecord &s : m.spans)
+                    tracer.record(std::move(s));
+                telemetry::Registry &reg = telemetry::Registry::instance();
+                for (telemetry::UnitRecord &u : m.units)
+                    reg.addUnit(std::move(u));
                 break;
               }
               case Msg::Stats: {
@@ -948,6 +1040,8 @@ runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
             }
         }
     }
+
+    progress.finish(points.size() - remaining);
 
     // ---- teardown --------------------------------------------------------
     for (auto &w : workers) {

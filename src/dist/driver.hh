@@ -138,6 +138,11 @@ struct DistStats
     std::string summary() const;
 };
 
+/** Publish a run's aggregate counters as "dist.*" gauges (and the
+ *  worker repositories' tier aggregate as "repo.*" gauges) in the
+ *  process-wide telemetry registry, for --metrics-json exports. */
+void publishMetrics(const DistStats &st);
+
 // Environment defaults for the supervision knobs (common/env.hh
 // semantics: unset = built-in default, junk warns and falls back).
 unsigned maxRespawnsFromEnv();     ///< $VMMX_MAX_RESPAWNS, default 3

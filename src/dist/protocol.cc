@@ -23,6 +23,60 @@ body(const std::vector<u8> &frame)
     return {frame.data() + 1, frame.size() - 1};
 }
 
+// Codec-lockstep guards: mirror structs that restate every field each
+// codec serializes.  Adding a field to the real struct without updating
+// its codec (and this mirror) fails to compile here instead of silently
+// shipping a short frame.
+struct SetupMsgMirror
+{
+    u32 version;
+    std::string storeDir;
+    u64 cacheBudget;
+    u64 decodedBudget;
+    bool decoded;
+    bool quiet;
+    u32 workerId;
+    std::string faultSpec;
+    bool telemetry;
+};
+static_assert(sizeof(SetupMsg) == sizeof(SetupMsgMirror),
+              "SetupMsg changed: update encode/decode and the mirror");
+
+struct SpanRecordMirror
+{
+    std::string name;
+    std::string detail;
+    u64 startNs;
+    u64 durNs;
+    u64 pid;
+    u32 tid;
+    s32 workerId;
+};
+static_assert(sizeof(telemetry::SpanRecord) == sizeof(SpanRecordMirror),
+              "SpanRecord changed: update the Event codec and mirror");
+
+struct UnitRecordMirror
+{
+    u64 traceHash;
+    std::string label;
+    u32 points;
+    u64 records;
+    u64 wallNs;
+    s32 workerId;
+};
+static_assert(sizeof(telemetry::UnitRecord) == sizeof(UnitRecordMirror),
+              "UnitRecord changed: update the Event codec and mirror");
+
+struct EventMsgMirror
+{
+    u32 workerId;
+    u64 pid;
+    std::vector<telemetry::SpanRecord> spans;
+    std::vector<telemetry::UnitRecord> units;
+};
+static_assert(sizeof(EventMsg) == sizeof(EventMsgMirror),
+              "EventMsg changed: update encode/decode and the mirror");
+
 } // namespace
 
 Msg
@@ -43,6 +97,7 @@ encode(const SetupMsg &m)
     w.boolean(m.quiet);
     w.fixed32(m.workerId);
     w.str(m.faultSpec);
+    w.boolean(m.telemetry);
     return w.take();
 }
 
@@ -60,6 +115,7 @@ decode(const std::vector<u8> &frame, SetupMsg &m)
     m.quiet = r.boolean();
     m.workerId = r.fixed32();
     m.faultSpec = r.str();
+    m.telemetry = r.boolean();
     return r.ok() && r.atEnd() && m.version == protocolVersion;
 }
 
@@ -192,6 +248,79 @@ decodeError(const std::vector<u8> &frame, std::string &what)
     wire::Reader r = body(frame);
     what = r.str();
     return r.ok();
+}
+
+std::vector<u8>
+encode(const EventMsg &m)
+{
+    wire::Writer w = begin(Msg::Event);
+    w.fixed32(m.workerId);
+    w.varint(m.pid);
+    w.varint(m.spans.size());
+    for (const telemetry::SpanRecord &s : m.spans) {
+        w.str(s.name);
+        w.str(s.detail);
+        w.varint(s.startNs);
+        w.varint(s.durNs);
+        w.varint(s.tid);
+    }
+    w.varint(m.units.size());
+    for (const telemetry::UnitRecord &u : m.units) {
+        w.fixed64(u.traceHash);
+        w.str(u.label);
+        w.varint(u.points);
+        w.varint(u.records);
+        w.varint(u.wallNs);
+    }
+    return w.take();
+}
+
+bool
+decode(const std::vector<u8> &frame, EventMsg &m)
+{
+    if (frameType(frame) != Msg::Event)
+        return false;
+    wire::Reader r = body(frame);
+    m.workerId = r.fixed32();
+    m.pid = r.varint();
+    u64 nSpans = r.varint();
+    if (!r.ok() || nSpans > r.remaining())
+        return false;
+    m.spans.clear();
+    m.spans.reserve(nSpans);
+    for (u64 i = 0; i < nSpans; ++i) {
+        telemetry::SpanRecord s;
+        s.name = r.str();
+        s.detail = r.str();
+        s.startNs = r.varint();
+        s.durNs = r.varint();
+        s.tid = u32(r.varint());
+        // pid/workerId ride once per frame; stamp them per record so
+        // callers can merge frames from many workers into one buffer.
+        s.pid = m.pid;
+        s.workerId = s32(m.workerId);
+        if (!r.ok())
+            return false;
+        m.spans.push_back(std::move(s));
+    }
+    u64 nUnits = r.varint();
+    if (!r.ok() || nUnits > r.remaining())
+        return false;
+    m.units.clear();
+    m.units.reserve(nUnits);
+    for (u64 i = 0; i < nUnits; ++i) {
+        telemetry::UnitRecord u;
+        u.traceHash = r.fixed64();
+        u.label = r.str();
+        u.points = u32(r.varint());
+        u.records = r.varint();
+        u.wallNs = r.varint();
+        u.workerId = s32(m.workerId);
+        if (!r.ok())
+            return false;
+        m.units.push_back(std::move(u));
+    }
+    return r.ok() && r.atEnd();
 }
 
 } // namespace vmmx::dist

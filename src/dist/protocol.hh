@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/telemetry.hh"
 #include "dist/wire.hh"
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
@@ -28,13 +29,14 @@
 namespace vmmx::dist
 {
 
-/** v4: supervised workers -- Setup carries the worker's spawn ordinal
- *  (fault-scope identity; respawned replacements get fresh ordinals)
- *  and the deterministic fault-injection spec the worker honors.
- *  (v3 added the tiered-repository budgets and per-tier Stats; v2 added
- *  JobGroup frames; Job/JobGroup/Result/Error and the journal format
- *  are unchanged since.) */
-constexpr u32 protocolVersion = 4;
+/** v5: observability -- Setup carries the driver's telemetry enable
+ *  flag, and workers may interleave Event frames (buffered telemetry
+ *  spans + per-unit timing records) with their Results.  Event frames
+ *  are purely observational: result content, ordering, and the journal
+ *  format are unchanged.  (v4 added supervised workers with spawn
+ *  ordinals and fault specs; v3 the tiered-repository budgets; v2
+ *  JobGroup frames.) */
+constexpr u32 protocolVersion = 5;
 
 enum class Msg : u8
 {
@@ -45,6 +47,7 @@ enum class Msg : u8
     Stats,     ///< worker->driver: end-of-session cache statistics
     Error,     ///< worker->driver: fatal worker-side failure
     JobGroup,  ///< driver->worker: a trace group to run as one batch
+    Event,     ///< worker->driver: telemetry spans + unit records
 };
 
 struct SetupMsg
@@ -59,6 +62,8 @@ struct SetupMsg
                             ///< process across respawns of a slot)
     std::string faultSpec;  ///< deterministic fault plan ("" = none);
                             ///< grammar in common/env.hh (FaultAction)
+    bool telemetry = false; ///< buffer spans/unit records and forward
+                            ///< them in Event frames
 };
 
 struct JobMsg
@@ -97,6 +102,20 @@ struct StatsMsg
     u64 decodedBytes = 0;  ///< decoded-tier bytes resident at exit
 };
 
+/**
+ * A batch of worker-side telemetry: buffered spans and per-unit timing
+ * records, flushed after each unit and before the final Stats reply.
+ * pid and workerId ride once per frame; the driver stamps them onto
+ * each record when merging the fleet timeline.
+ */
+struct EventMsg
+{
+    u32 workerId = 0; ///< spawn ordinal (matches SetupMsg.workerId)
+    u64 pid = 0;      ///< worker process id (timeline track key)
+    std::vector<telemetry::SpanRecord> spans;
+    std::vector<telemetry::UnitRecord> units;
+};
+
 std::vector<u8> encode(const SetupMsg &m);
 std::vector<u8> encode(const JobMsg &m);
 std::vector<u8> encode(const JobGroupMsg &m);
@@ -104,6 +123,7 @@ std::vector<u8> encodeDone();
 std::vector<u8> encode(const ResultMsg &m);
 std::vector<u8> encode(const StatsMsg &m);
 std::vector<u8> encodeError(const std::string &what);
+std::vector<u8> encode(const EventMsg &m);
 
 /** @return the type of @p frame, or Msg(0) on an empty frame. */
 Msg frameType(const std::vector<u8> &frame);
@@ -115,6 +135,7 @@ bool decode(const std::vector<u8> &frame, JobGroupMsg &m);
 bool decode(const std::vector<u8> &frame, ResultMsg &m);
 bool decode(const std::vector<u8> &frame, StatsMsg &m);
 bool decodeError(const std::vector<u8> &frame, std::string &what);
+bool decode(const std::vector<u8> &frame, EventMsg &m);
 
 } // namespace vmmx::dist
 

@@ -131,7 +131,25 @@ workerServe(int fd)
         return 1;
     }
     setQuiet(setup.quiet);
+    setLogWorkerId(int(setup.workerId));
+    telemetry::setEnabled(setup.telemetry);
     FaultState fault(setup);
+
+    // Buffered spans and unit records ship to the driver as Event
+    // frames -- after every unit (so a later crash loses at most one
+    // unit's telemetry) and once more before the Stats reply.
+    auto flushTelemetry = [&]() {
+        if (!telemetry::enabled())
+            return;
+        EventMsg ev;
+        ev.workerId = setup.workerId;
+        ev.pid = u64(::getpid());
+        ev.spans = telemetry::Tracer::instance().drain();
+        ev.units = telemetry::Registry::instance().drainUnits();
+        if (ev.spans.empty() && ev.units.empty())
+            return;
+        wire::writeFrame(fd, encode(ev));
+    };
 
     // A private repository (not instance()): its statistics then
     // describe exactly this worker's jobs, and forked workers behave
@@ -147,6 +165,7 @@ workerServe(int fd)
     while (wire::readFrame(fd, frame)) {
         Msg type = frameType(frame);
         if (type == Msg::Done) {
+            flushTelemetry();
             StatsMsg stats;
             stats.generations = repo.generations();
             stats.hits = repo.rawStats().hits;
@@ -198,19 +217,38 @@ workerServe(int fd)
         for (const SweepPoint &p : group.points)
             machines.push_back(makeMachine(p.kind, p.way, p.overrides));
 
+        u64 unitStartNs = telemetry::enabled() ? telemetry::nowNs() : 0;
+        std::string leadLabel =
+            telemetry::enabled() ? lead.label() : std::string();
+
         std::vector<RunResult> runs;
         u64 traceLength = 0;
-        if (setup.decoded && !explicitTrace) {
-            TraceRepository::DecodedHandle stream =
-                repo.decoded(traceKeyFor(lead));
-            traceLength = stream.records();
-            runs = runTraceBatch(machines, stream.stream());
-        } else {
-            TraceRepository::TraceHandle trace =
-                explicitTrace ? TraceRepository::TraceHandle(lead.trace)
-                              : repo.raw(traceKeyFor(lead));
-            traceLength = trace->size();
-            runs = runTraceBatch(machines, *trace);
+        {
+            TELEMETRY_SPAN("simulate", std::string(leadLabel));
+            if (setup.decoded && !explicitTrace) {
+                TraceRepository::DecodedHandle stream =
+                    repo.decoded(traceKeyFor(lead));
+                traceLength = stream.records();
+                runs = runTraceBatch(machines, stream.stream());
+            } else {
+                TraceRepository::TraceHandle trace =
+                    explicitTrace
+                        ? TraceRepository::TraceHandle(lead.trace)
+                        : repo.raw(traceKeyFor(lead));
+                traceLength = trace->size();
+                runs = runTraceBatch(machines, *trace);
+            }
+        }
+        if (telemetry::enabled()) {
+            telemetry::UnitRecord rec;
+            rec.traceHash =
+                wire::fnv1a(leadLabel.data(), leadLabel.size());
+            rec.label = leadLabel;
+            rec.points = u32(group.points.size());
+            rec.records = traceLength;
+            rec.wallNs = telemetry::nowNs() - unitStartNs;
+            rec.workerId = s32(setup.workerId);
+            telemetry::Registry::instance().addUnit(std::move(rec));
         }
 
         // kill-mid-unit: answer only half the group, then crash -- the
@@ -219,21 +257,25 @@ workerServe(int fd)
         size_t limit = midKill ? runs.size() / 2 : runs.size();
 
         bool sent = true;
-        for (size_t k = 0; k < limit && sent; ++k) {
-            ResultMsg res;
-            res.index = group.indices[k];
-            res.traceLength = traceLength;
-            res.result = runs[k];
-            std::vector<u8> payload = encode(res);
-            if (fault.corruptThisResult())
-                payload[0] = 0x7f; // undecodable type byte
-            sent = wire::writeFrame(fd, payload);
+        {
+            TELEMETRY_SPAN("wire.encode");
+            for (size_t k = 0; k < limit && sent; ++k) {
+                ResultMsg res;
+                res.index = group.indices[k];
+                res.traceLength = traceLength;
+                res.result = runs[k];
+                std::vector<u8> payload = encode(res);
+                if (fault.corruptThisResult())
+                    payload[0] = 0x7f; // undecodable type byte
+                sent = wire::writeFrame(fd, payload);
+            }
         }
         if (midKill)
             FaultState::die();
         if (!sent)
             break; // driver went away; nothing useful left to do
         fault.onUnitDone();
+        flushTelemetry();
     }
     ::close(fd);
     return fault.exitCode(rc);

@@ -5,7 +5,9 @@
 
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "common/telemetry.hh"
 #include "dist/driver.hh"
+#include "dist/wire.hh"
 
 namespace vmmx
 {
@@ -148,10 +150,26 @@ runSweepUnit(const std::vector<SweepPoint> &points,
     for (u32 i : unit)
         machines.push_back(makeMachine(points[i].kind, points[i].way,
                                        points[i].overrides));
+    u64 unitStartNs = telemetry::enabled() ? telemetry::nowNs() : 0;
+    std::string leadLabel =
+        telemetry::enabled() ? points[unit[0]].label() : std::string();
     u64 traceLength = 0;
-    std::vector<RunResult> runs =
-        resolveAndRun(points[unit[0]], machines, policy.repository(),
-                      policy.decoded, traceLength);
+    std::vector<RunResult> runs;
+    {
+        TELEMETRY_SPAN("simulate", std::string(leadLabel));
+        runs = resolveAndRun(points[unit[0]], machines,
+                             policy.repository(), policy.decoded,
+                             traceLength);
+    }
+    if (telemetry::enabled()) {
+        telemetry::UnitRecord rec;
+        rec.traceHash = wire::fnv1a(leadLabel.data(), leadLabel.size());
+        rec.label = leadLabel;
+        rec.points = u32(unit.size());
+        rec.records = traceLength;
+        rec.wallNs = telemetry::nowNs() - unitStartNs;
+        telemetry::Registry::instance().addUnit(std::move(rec));
+    }
     for (size_t k = 0; k < unit.size(); ++k) {
         SweepResult &r = results[unit[k]];
         r.point = points[unit[k]];
@@ -167,8 +185,14 @@ SerialExecutor::run(const std::vector<SweepPoint> &points,
     std::vector<std::vector<u32>> units =
         buildSweepUnits(points, allIndices(points.size()), policy.batch);
     std::vector<SweepResult> results(points.size());
-    for (const auto &unit : units)
+    telemetry::Progress progress("sweep", points.size());
+    u64 done = 0;
+    for (const auto &unit : units) {
         runSweepUnit(points, unit, policy, results);
+        done += unit.size();
+        progress.update(done);
+    }
+    progress.finish(done);
     return results;
 }
 
@@ -193,10 +217,15 @@ ThreadPoolExecutor::run(const std::vector<SweepPoint> &points,
     // vector is deterministic.
     std::vector<SweepResult> results(points.size());
     std::atomic<size_t> next{0};
+    std::atomic<u64> done{0};
+    telemetry::Progress progress("sweep", points.size());
     auto worker = [&]() {
         for (size_t u = next.fetch_add(1); u < units.size();
-             u = next.fetch_add(1))
+             u = next.fetch_add(1)) {
             runSweepUnit(points, units[u], policy, results);
+            progress.update(done.fetch_add(units[u].size()) +
+                            units[u].size());
+        }
     };
 
     std::vector<std::thread> pool;
@@ -205,6 +234,7 @@ ThreadPoolExecutor::run(const std::vector<SweepPoint> &points,
         pool.emplace_back(worker);
     for (auto &th : pool)
         th.join();
+    progress.finish(done.load());
     return results;
 }
 

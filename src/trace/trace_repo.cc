@@ -8,6 +8,7 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "common/memimage.hh"
+#include "common/telemetry.hh"
 #include "common/rng.hh"
 #include "kernels/kernel.hh"
 #include "trace/program.hh"
@@ -229,6 +230,9 @@ TraceRepository::materializeRaw(Entry &e)
 {
     vmmx_assert(e.keyed, "only keyed entries own a raw tier");
     if (store_) {
+        TELEMETRY_SPAN("trace.diskLoad", telemetry::enabled()
+                                             ? e.key.name
+                                             : std::string());
         if (SharedTrace t = store_->load(e.key)) {
             e.raw = std::move(t);
             e.rawBytes = e.raw->size() * sizeof(InstRecord);
@@ -242,6 +246,9 @@ TraceRepository::materializeRaw(Entry &e)
 
     std::vector<InstRecord> trace;
     {
+        TELEMETRY_SPAN("trace.generate", telemetry::enabled()
+                                             ? e.key.name
+                                             : std::string());
         const TraceKey &key = e.key;
         MemImage mem(key.imageBytes);
         Rng rng(key.seed);
@@ -315,6 +322,9 @@ TraceRepository::decoded(const TraceKey &key)
         SharedTrace src = entry->raw;
         if (!src)
             src = materializeRaw(*entry);
+        TELEMETRY_SPAN("trace.decode", telemetry::enabled()
+                                           ? key.name
+                                           : std::string());
         entry->decoded =
             std::make_shared<const DecodedStream>(decodeStream(*src));
         entry->decodedBytes = entry->decoded->bytes();
@@ -339,6 +349,7 @@ TraceRepository::decoded(const SharedTrace &trace)
     if (entry->decoded) {
         ++decodedHits_;
     } else {
+        TELEMETRY_SPAN("trace.decode");
         entry->decoded =
             std::make_shared<const DecodedStream>(decodeStream(*trace));
         entry->decodedBytes = entry->decoded->bytes();
@@ -519,6 +530,26 @@ TraceRepository::summary() const
        << budgetStr(decodedBudget()) << "), " << decT.hits << " hits, "
        << decT.fills << " decodes, " << decT.evictions << " evictions";
     return os.str();
+}
+
+void
+TraceRepository::publishMetrics() const
+{
+    telemetry::Registry &reg = telemetry::Registry::instance();
+    TierStats rawT = rawStats();
+    TierStats decT = decodedStats();
+    reg.setGauge("repo.traces", size());
+    reg.setGauge("repo.generations", generations());
+    reg.setGauge("repo.diskLoads", diskLoads());
+    reg.setGauge("repo.storeSaves", store_ ? store_->saves() : 0);
+    reg.setGauge("repo.raw.hits", rawT.hits);
+    reg.setGauge("repo.raw.fills", rawT.fills);
+    reg.setGauge("repo.raw.evictions", rawT.evictions);
+    reg.setGauge("repo.raw.bytes", rawT.bytes);
+    reg.setGauge("repo.decodes", decT.fills);
+    reg.setGauge("repo.decoded.hits", decT.hits);
+    reg.setGauge("repo.decoded.evictions", decT.evictions);
+    reg.setGauge("repo.decoded.bytes", decT.bytes);
 }
 
 void

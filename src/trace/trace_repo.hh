@@ -220,6 +220,10 @@ class TraceRepository
     /** Human summary of all three tiers, one line per tier. */
     std::string summary() const;
 
+    /** Publish the per-tier counters as "repo.*" gauges in the
+     *  process-wide telemetry registry. */
+    void publishMetrics() const;
+
     /**
      * Drop every cached trace and decoded stream and reset the stats.
      * Only safe when no handles into this repository are still live;

@@ -335,5 +335,81 @@ TEST_F(WireTest, ProtocolMessagesRoundTrip)
     EXPECT_EQ(what, "boom");
 }
 
+TEST_F(WireTest, SetupMsgCarriesTelemetryFlag)
+{
+    dist::SetupMsg setup;
+    setup.telemetry = true;
+    dist::SetupMsg back;
+    ASSERT_TRUE(dist::decode(dist::encode(setup), back));
+    EXPECT_TRUE(back.telemetry);
+    setup.telemetry = false;
+    ASSERT_TRUE(dist::decode(dist::encode(setup), back));
+    EXPECT_FALSE(back.telemetry);
+}
+
+TEST_F(WireTest, EventMsgRoundTrip)
+{
+    dist::EventMsg ev;
+    ev.workerId = 3;
+    ev.pid = 0x1234567890ull;
+
+    telemetry::SpanRecord outer;
+    outer.name = "simulate";
+    outer.detail = "idct/vmmx128/4-way \"quoted\"";
+    outer.startNs = 1'000'000'000ull;
+    outer.durNs = 42'000'000ull;
+    outer.tid = 7;
+    telemetry::SpanRecord inner;
+    inner.name = "trace.decode";
+    inner.startNs = 1'000'500'000ull;
+    inner.durNs = 1'000ull;
+    ev.spans = {outer, inner};
+
+    telemetry::UnitRecord unit;
+    unit.traceHash = 0xdeadbeefcafef00dull;
+    unit.label = "idct/vmmx128/4-way";
+    unit.points = 3;
+    unit.records = 4890;
+    unit.wallNs = 31'000'000ull;
+    ev.units = {unit};
+
+    dist::EventMsg back;
+    ASSERT_TRUE(dist::decode(dist::encode(ev), back));
+    EXPECT_EQ(back.workerId, ev.workerId);
+    EXPECT_EQ(back.pid, ev.pid);
+    ASSERT_EQ(back.spans.size(), 2u);
+    EXPECT_EQ(back.spans[0].name, outer.name);
+    EXPECT_EQ(back.spans[0].detail, outer.detail);
+    EXPECT_EQ(back.spans[0].startNs, outer.startNs);
+    EXPECT_EQ(back.spans[0].durNs, outer.durNs);
+    EXPECT_EQ(back.spans[0].tid, outer.tid);
+    EXPECT_EQ(back.spans[1].name, inner.name);
+    ASSERT_EQ(back.units.size(), 1u);
+    EXPECT_EQ(back.units[0].traceHash, unit.traceHash);
+    EXPECT_EQ(back.units[0].label, unit.label);
+    EXPECT_EQ(back.units[0].points, unit.points);
+    EXPECT_EQ(back.units[0].records, unit.records);
+    EXPECT_EQ(back.units[0].wallNs, unit.wallNs);
+
+    // decode() stamps the frame-level identity onto every record, so
+    // the driver's merged timeline attributes spans without trusting
+    // whatever the sender left in those fields.
+    for (const auto &s : back.spans) {
+        EXPECT_EQ(s.pid, ev.pid);
+        EXPECT_EQ(s.workerId, 3);
+    }
+    EXPECT_EQ(back.units[0].workerId, 3);
+
+    // Empty event frames round-trip too (a worker with nothing new).
+    dist::EventMsg empty, emptyBack;
+    ASSERT_TRUE(dist::decode(dist::encode(empty), emptyBack));
+    EXPECT_TRUE(emptyBack.spans.empty());
+    EXPECT_TRUE(emptyBack.units.empty());
+
+    // Wrong-type decode fails.
+    dist::ResultMsg res2;
+    EXPECT_FALSE(dist::decode(dist::encode(ev), res2));
+}
+
 } // namespace
 } // namespace vmmx

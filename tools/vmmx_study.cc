@@ -19,6 +19,7 @@
  */
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -27,6 +28,8 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "common/telemetry.hh"
+#include "dist/driver.hh"
 #include "dist/worker.hh"
 #include "harness/study.hh"
 #include "trace/trace_repo.hh"
@@ -69,6 +72,13 @@ usage(int rc)
         "  --check         also run the serial reference executor and\n"
         "                  exit nonzero unless bit-identical\n"
         "  --verbose       keep warn()/inform() output\n"
+        "  --metrics-json FILE  write the run's metrics registry (repo\n"
+        "                  tiers, dist counters, per-unit timing) as JSON\n"
+        "  --trace-events FILE  write a Chrome trace-event JSON timeline\n"
+        "                  for chrome://tracing or ui.perfetto.dev\n"
+        "  --progress      rate-limited live progress on stderr\n"
+        "  --progress-json FILE  streamed JSONL progress events\n"
+        "                  ('-' = stderr)\n"
         "  --help          this text\n";
     std::exit(rc);
 }
@@ -89,6 +99,8 @@ main(int argc, char **argv)
     int threadsOverride = -1, processesOverride = -1;
     int maxRespawnsOverride = -1, unitTimeoutOverride = -1;
     int maxAttemptsOverride = -1;
+    std::string metricsPath, tracePath, progressJsonPath;
+    bool progressStderr = false;
 
     auto value = [&](int &i) -> std::string {
         if (i + 1 >= argc)
@@ -135,6 +147,14 @@ main(int argc, char **argv)
             check = true;
         else if (arg == "--verbose")
             verbose = true;
+        else if (arg == "--metrics-json")
+            metricsPath = value(i);
+        else if (arg == "--trace-events")
+            tracePath = value(i);
+        else if (arg == "--progress")
+            progressStderr = true;
+        else if (arg == "--progress-json")
+            progressJsonPath = value(i);
         else if (arg == "--help")
             usage(0);
         else if (!arg.empty() && arg[0] == '-')
@@ -180,6 +200,31 @@ main(int argc, char **argv)
     if (points.empty())
         fatal("%s: empty grid (no kernels or apps)", specPath.c_str());
 
+    // Observability wiring; purely observational (results bit-identical
+    // either way).  The processes backend forwards the flag to every
+    // worker in the Setup frame.
+    if (!metricsPath.empty() || !tracePath.empty())
+        telemetry::setEnabled(true);
+    std::FILE *progressFile = nullptr;
+    if (!progressJsonPath.empty()) {
+        if (progressJsonPath != "-") {
+            progressFile = std::fopen(progressJsonPath.c_str(), "w");
+            if (!progressFile)
+                fatal("cannot open '%s'", progressJsonPath.c_str());
+        }
+        telemetry::setProgress(telemetry::ProgressMode::Jsonl,
+                               progressFile);
+    } else if (progressStderr) {
+        telemetry::setProgress(telemetry::ProgressMode::Stderr);
+    }
+    telemetry::Tracer::instance().setProcessName(u64(::getpid()),
+                                                 "driver");
+    dist::DistStats distStats;
+    bool processesBackend =
+        spec.exec.backend == ExecutionPolicy::Backend::Process;
+    if (processesBackend && !spec.exec.distStats)
+        spec.exec.distStats = &distStats;
+
     if (!reportOnly) {
         std::cout << (spec.title.empty() ? specPath : spec.title) << "\n"
                   << points.size() << " grid points via the "
@@ -208,6 +253,33 @@ main(int argc, char **argv)
                                         : 0.0)
                   << " points/s)\n";
     }
+
+    if (!metricsPath.empty()) {
+        // The "repo" section: worker-fleet tier aggregate for the
+        // processes backend, the in-process repository otherwise.
+        if (processesBackend)
+            dist::publishMetrics(*spec.exec.distStats);
+        else
+            repo.publishMetrics();
+        std::ofstream out(metricsPath);
+        if (!out)
+            fatal("cannot open '%s'", metricsPath.c_str());
+        telemetry::Registry::instance().dumpJson(out);
+        if (!reportOnly)
+            std::cout << "study: metrics written to " << metricsPath
+                      << '\n';
+    }
+    if (!tracePath.empty()) {
+        std::ofstream out(tracePath);
+        if (!out)
+            fatal("cannot open '%s'", tracePath.c_str());
+        telemetry::Tracer::instance().writeTraceEvents(out);
+        if (!reportOnly)
+            std::cout << "study: trace events written to " << tracePath
+                      << '\n';
+    }
+    if (progressFile)
+        std::fclose(progressFile);
 
     if (check) {
         ExecutionPolicy serial = spec.exec;

@@ -17,6 +17,7 @@
  * the same --journal and only the missing points execute.
  */
 
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -27,6 +28,7 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "common/telemetry.hh"
 #include "dist/driver.hh"
 #include "dist/worker.hh"
 #include "harness/sweep.hh"
@@ -102,6 +104,15 @@ usage(int rc)
         "                     VMMX_SWEEP_DECODED=0)\n"
         "  --check            verify against the serial in-process sweep\n"
         "  --verbose          keep worker warn()/inform() output\n"
+        "  --metrics-json FILE  write the run's metrics registry (repo\n"
+        "                     tiers, dist counters, per-unit timing) as\n"
+        "                     JSON\n"
+        "  --trace-events FILE  write a Chrome trace-event JSON timeline\n"
+        "                     (driver + workers) for chrome://tracing or\n"
+        "                     ui.perfetto.dev\n"
+        "  --progress         rate-limited live progress on stderr\n"
+        "  --progress-json FILE  streamed JSONL progress events\n"
+        "                     ('-' = stderr)\n"
         "  --help             this text\n";
     std::exit(rc);
 }
@@ -120,6 +131,8 @@ main(int argc, char **argv)
     dist::DistOptions dopts;
     bool check = false;
     dopts.quiet = true;
+    std::string metricsPath, tracePath, progressJsonPath;
+    bool progressStderr = false;
 
     auto value = [&](int &i) -> std::string {
         if (i + 1 >= argc)
@@ -189,6 +202,14 @@ main(int argc, char **argv)
             check = true;
         else if (arg == "--verbose")
             dopts.quiet = false;
+        else if (arg == "--metrics-json")
+            metricsPath = value(i);
+        else if (arg == "--trace-events")
+            tracePath = value(i);
+        else if (arg == "--progress")
+            progressStderr = true;
+        else if (arg == "--progress-json")
+            progressJsonPath = value(i);
         else if (arg == "--help")
             usage(0);
         else
@@ -207,6 +228,26 @@ main(int argc, char **argv)
 
     dopts.execPath = selfPath(argv[0]);
     setQuiet(dopts.quiet);
+
+    // Observability wiring.  Telemetry is purely observational (results
+    // are bit-identical either way); it turns on when any export asks
+    // for it, and the flag rides to every worker in the Setup frame.
+    if (!metricsPath.empty() || !tracePath.empty())
+        telemetry::setEnabled(true);
+    std::FILE *progressFile = nullptr;
+    if (!progressJsonPath.empty()) {
+        if (progressJsonPath != "-") {
+            progressFile = std::fopen(progressJsonPath.c_str(), "w");
+            if (!progressFile)
+                fatal("cannot open '%s'", progressJsonPath.c_str());
+        }
+        telemetry::setProgress(telemetry::ProgressMode::Jsonl,
+                               progressFile);
+    } else if (progressStderr) {
+        telemetry::setProgress(telemetry::ProgressMode::Stderr);
+    }
+    telemetry::Tracer::instance().setProcessName(u64(::getpid()),
+                                                 "driver");
 
     std::cout << "vmmx_sweepd: " << grid.size() << " grid points over "
               << dopts.processes << " worker processes ("
@@ -248,6 +289,28 @@ main(int argc, char **argv)
         std::cout << "dist-exit: slot " << e.slot << " spawn " << e.spawnId
                   << " " << dist::name(e.cause) << " (" << e.detail
                   << ")\n";
+
+    // Exports are written even for runs that then fail the quarantine
+    // check below: a failed run's telemetry is the interesting kind.
+    if (!metricsPath.empty()) {
+        dist::publishMetrics(stats);
+        std::ofstream out(metricsPath);
+        if (!out)
+            fatal("cannot open '%s'", metricsPath.c_str());
+        telemetry::Registry::instance().dumpJson(out);
+        std::cout << "vmmx_sweepd: metrics written to " << metricsPath
+                  << '\n';
+    }
+    if (!tracePath.empty()) {
+        std::ofstream out(tracePath);
+        if (!out)
+            fatal("cannot open '%s'", tracePath.c_str());
+        telemetry::Tracer::instance().writeTraceEvents(out);
+        std::cout << "vmmx_sweepd: trace events written to " << tracePath
+                  << '\n';
+    }
+    if (progressFile)
+        std::fclose(progressFile);
 
     // Quarantined points never executed; their rows above are default
     // zeros.  That must not read as success.
