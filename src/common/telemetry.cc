@@ -293,7 +293,10 @@ Registry::dumpText(std::ostream &os) const
         num << u.pointsPerSec();
         os << "unit " << u.label << " points " << u.points << " records "
            << u.records << " wallNs " << u.wallNs << " points/s "
-           << num.str() << '\n';
+           << num.str();
+        if (!u.simd.empty())
+            os << " simd " << u.simd;
+        os << '\n';
     }
 }
 
@@ -351,7 +354,8 @@ Registry::dumpJson(std::ostream &os) const
            << ",\"label\":\"" << jsonEscape(u.label)
            << "\",\"points\":" << u.points << ",\"records\":" << u.records
            << ",\"wallNs\":" << u.wallNs << ",\"pointsPerSec\":"
-           << pps.str() << ",\"workerId\":" << u.workerId << "}";
+           << pps.str() << ",\"workerId\":" << u.workerId
+           << ",\"simd\":\"" << jsonEscape(u.simd) << "\"}";
     }
     os << (us.empty() ? "]" : "\n  ]") << "\n}\n";
 }

@@ -169,6 +169,7 @@ struct UnitRecord
     u64 records = 0;    ///< trace length replayed
     u64 wallNs = 0;     ///< wall-clock of the whole unit
     s32 workerId = -1;  ///< dist spawn ordinal; -1 = driver/local
+    std::string simd;   ///< step-kernel path (scalar/sse2/avx2/avx512)
 
     double pointsPerSec() const
     {

@@ -63,6 +63,7 @@ struct UnitRecordMirror
     u64 records;
     u64 wallNs;
     s32 workerId;
+    std::string simd;
 };
 static_assert(sizeof(telemetry::UnitRecord) == sizeof(UnitRecordMirror),
               "UnitRecord changed: update the Event codec and mirror");
@@ -271,6 +272,7 @@ encode(const EventMsg &m)
         w.varint(u.points);
         w.varint(u.records);
         w.varint(u.wallNs);
+        w.str(u.simd);
     }
     return w.take();
 }
@@ -315,6 +317,7 @@ decode(const std::vector<u8> &frame, EventMsg &m)
         u.points = u32(r.varint());
         u.records = r.varint();
         u.wallNs = r.varint();
+        u.simd = r.str();
         u.workerId = s32(m.workerId);
         if (!r.ok())
             return false;

@@ -29,14 +29,14 @@
 namespace vmmx::dist
 {
 
-/** v5: observability -- Setup carries the driver's telemetry enable
- *  flag, and workers may interleave Event frames (buffered telemetry
- *  spans + per-unit timing records) with their Results.  Event frames
- *  are purely observational: result content, ordering, and the journal
- *  format are unchanged.  (v4 added supervised workers with spawn
+/** v6: each Event unit record also names the host-SIMD step-kernel
+ *  path that produced it, so merged driver metrics attribute worker
+ *  throughput to the right kernel.  (v5 added Event telemetry frames
+ *  -- buffered spans + per-unit timing records interleaved with
+ *  Results, purely observational; v4 supervised workers with spawn
  *  ordinals and fault specs; v3 the tiered-repository budgets; v2
  *  JobGroup frames.) */
-constexpr u32 protocolVersion = 5;
+constexpr u32 protocolVersion = 6;
 
 enum class Msg : u8
 {

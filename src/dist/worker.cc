@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "dist/protocol.hh"
 #include "harness/runner.hh"
+#include "sim/simd_dispatch.hh"
 #include "trace/trace_repo.hh"
 
 namespace vmmx::dist
@@ -224,7 +225,13 @@ workerServe(int fd)
         std::vector<RunResult> runs;
         u64 traceLength = 0;
         {
-            TELEMETRY_SPAN("simulate", std::string(leadLabel));
+            TELEMETRY_SPAN(
+                "simulate",
+                leadLabel.empty()
+                    ? std::string()
+                    : leadLabel + " simd=" +
+                          simd::pathName(
+                              simd::pathFor(group.points.size())));
             if (setup.decoded && !explicitTrace) {
                 TraceRepository::DecodedHandle stream =
                     repo.decoded(traceKeyFor(lead));
@@ -248,6 +255,7 @@ workerServe(int fd)
             rec.records = traceLength;
             rec.wallNs = telemetry::nowNs() - unitStartNs;
             rec.workerId = s32(setup.workerId);
+            rec.simd = simd::pathName(simd::pathFor(group.points.size()));
             telemetry::Registry::instance().addUnit(std::move(rec));
         }
 

@@ -8,6 +8,7 @@
 #include "common/telemetry.hh"
 #include "dist/driver.hh"
 #include "dist/wire.hh"
+#include "sim/simd_dispatch.hh"
 
 namespace vmmx
 {
@@ -156,7 +157,11 @@ runSweepUnit(const std::vector<SweepPoint> &points,
     u64 traceLength = 0;
     std::vector<RunResult> runs;
     {
-        TELEMETRY_SPAN("simulate", std::string(leadLabel));
+        TELEMETRY_SPAN("simulate",
+                       leadLabel.empty()
+                           ? std::string()
+                           : leadLabel + " simd=" +
+                                 simd::pathName(simd::pathFor(unit.size())));
         runs = resolveAndRun(points[unit[0]], machines,
                              policy.repository(), policy.decoded,
                              traceLength);
@@ -168,7 +173,14 @@ runSweepUnit(const std::vector<SweepPoint> &points,
         rec.points = u32(unit.size());
         rec.records = traceLength;
         rec.wallNs = telemetry::nowNs() - unitStartNs;
-        telemetry::Registry::instance().addUnit(std::move(rec));
+        // Attribute the unit's throughput to the step kernel that
+        // produced it: width-1 units take the fused serial (scalar)
+        // step, wider units the dispatched host-SIMD path.
+        simd::Path path = simd::pathFor(unit.size());
+        rec.simd = simd::pathName(path);
+        telemetry::Registry &reg = telemetry::Registry::instance();
+        reg.setGauge("sim.simd", u64(path));
+        reg.addUnit(std::move(rec));
     }
     for (size_t k = 0; k < unit.size(); ++k) {
         SweepResult &r = results[unit[k]];

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "sim/sim_batch.hh"
+#include "sim/simd_dispatch.hh"
 
 namespace vmmx
 {
@@ -312,21 +314,22 @@ runBatch(const std::vector<InstRecord> &trace,
         return;
     }
 
-    // Batched: decode each block once, then let every context stream
-    // through the warm decoded block before the next block is touched.
-    // Context-major order inside the block keeps each context's branch
-    // and state patterns coherent for the host CPU while the decoded
-    // records are served from the L1 cache instead of being re-derived
-    // (or re-streamed from trace memory) once per configuration.
+    // Batched: decode each block once, then advance every context
+    // through it record-major in SoA form -- one DecodedInst drives
+    // all configurations as host-SIMD lanes (sim/simd_step.hh), with
+    // the kernel width picked once per process by the cpuid dispatch.
+    // The step order per context is unchanged, so results stay
+    // bit-identical to the serial fused path above.
+    SimBatch batch(ctxs);
+    simd::StepFn step = simd::stepFn(simd::activePath());
     std::vector<DecodedInst> block(std::min(decodeBlock, trace.size()));
     for (size_t base = 0; base < trace.size(); base += decodeBlock) {
         size_t n = std::min(decodeBlock, trace.size() - base);
         for (size_t i = 0; i < n; ++i)
             block[i] = decodeInst(trace[base + i]);
-        for (SimContext *ctx : ctxs)
-            for (size_t i = 0; i < n; ++i)
-                ctx->step(block[i]);
+        step(batch, block.data(), n);
     }
+    batch.finish();
 }
 
 void
@@ -347,15 +350,13 @@ runBatch(const DecodedStream &stream, std::span<SimContext *const> ctxs)
         return;
     }
 
-    // Same block windowing as the decoding overload: each context
-    // streams a cache-warm window before the batch advances, and the
+    // Pre-decoded stream: one SoA pass over the whole stream.  The
+    // record-major kernel touches each record exactly once, so the
+    // block windowing of the decoding overload is unnecessary; the
     // per-context step order is identical record for record.
-    for (size_t base = 0; base < insts.size(); base += decodeBlock) {
-        size_t n = std::min(decodeBlock, insts.size() - base);
-        for (SimContext *ctx : ctxs)
-            for (size_t i = 0; i < n; ++i)
-                ctx->step(insts[base + i]);
-    }
+    SimBatch batch(ctxs);
+    simd::stepFn(simd::activePath())(batch, insts.data(), insts.size());
+    batch.finish();
 }
 
 } // namespace vmmx

@@ -55,6 +55,11 @@ namespace vmmx
  */
 class SimContext
 {
+    /** The SoA batch view (sim/sim_batch.hh) hoists this context's hot
+     *  state into lane arrays and reaches back in for the scalar
+     *  sub-phases (free lists, memory, predictor, ROB ring). */
+    friend struct SimBatch;
+
   public:
     /** @param mem the configuration's memory system; not owned. */
     SimContext(const CoreParams &params, MemorySystem *mem);

@@ -1,0 +1,21 @@
+/** AVX2 instantiation of the batched step kernel: 4 configurations
+ *  per vector op.  Compiled with -mavx2 (see CMakeLists.txt); empty
+ *  unless the build defines VMMX_KERNEL_AVX2. */
+
+#ifdef VMMX_KERNEL_AVX2
+
+#include "sim/simd_dispatch.hh"
+#include "sim/simd_step.hh"
+
+namespace vmmx::simd
+{
+
+void
+stepBlockAvx2(SimBatch &b, const DecodedInst *insts, size_t n)
+{
+    stepBlockT<Avx2Ops>(b, insts, n);
+}
+
+} // namespace vmmx::simd
+
+#endif // VMMX_KERNEL_AVX2

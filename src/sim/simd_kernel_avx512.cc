@@ -1,0 +1,22 @@
+/** AVX-512F instantiation of the batched step kernel: 8 configurations
+ *  per vector op, native unsigned 64-bit compares/maxes and predicate
+ *  masks.  Compiled with -mavx512f (see CMakeLists.txt); empty unless
+ *  the build defines VMMX_KERNEL_AVX512. */
+
+#ifdef VMMX_KERNEL_AVX512
+
+#include "sim/simd_dispatch.hh"
+#include "sim/simd_step.hh"
+
+namespace vmmx::simd
+{
+
+void
+stepBlockAvx512(SimBatch &b, const DecodedInst *insts, size_t n)
+{
+    stepBlockT<Avx512Ops>(b, insts, n);
+}
+
+} // namespace vmmx::simd
+
+#endif // VMMX_KERNEL_AVX512

@@ -1,0 +1,16 @@
+/** The scalar reference instantiation of the batched step kernel --
+ *  always compiled, the bit-identity baseline for every wider path. */
+
+#include "sim/simd_dispatch.hh"
+#include "sim/simd_step.hh"
+
+namespace vmmx::simd
+{
+
+void
+stepBlockScalar(SimBatch &b, const DecodedInst *insts, size_t n)
+{
+    stepBlockT<ScalarOps>(b, insts, n);
+}
+
+} // namespace vmmx::simd

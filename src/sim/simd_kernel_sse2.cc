@@ -1,0 +1,23 @@
+/** SSE2 instantiation of the batched step kernel: 2 configurations
+ *  per vector op.  Compiled with -msse2 (see CMakeLists.txt); the
+ *  whole file vanishes when the build does not define
+ *  VMMX_KERNEL_SSE2, so no wide code ever leaks into a build whose
+ *  compiler lacks the flag. */
+
+#ifdef VMMX_KERNEL_SSE2
+
+#include "sim/simd_dispatch.hh"
+#include "sim/simd_step.hh"
+
+namespace vmmx::simd
+{
+
+void
+stepBlockSse2(SimBatch &b, const DecodedInst *insts, size_t n)
+{
+    stepBlockT<Sse2Ops>(b, insts, n);
+}
+
+} // namespace vmmx::simd
+
+#endif // VMMX_KERNEL_SSE2

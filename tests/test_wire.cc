@@ -371,6 +371,7 @@ TEST_F(WireTest, EventMsgRoundTrip)
     unit.points = 3;
     unit.records = 4890;
     unit.wallNs = 31'000'000ull;
+    unit.simd = "avx2";
     ev.units = {unit};
 
     dist::EventMsg back;
@@ -390,6 +391,7 @@ TEST_F(WireTest, EventMsgRoundTrip)
     EXPECT_EQ(back.units[0].points, unit.points);
     EXPECT_EQ(back.units[0].records, unit.records);
     EXPECT_EQ(back.units[0].wallNs, unit.wallNs);
+    EXPECT_EQ(back.units[0].simd, unit.simd);
 
     // decode() stamps the frame-level identity onto every record, so
     // the driver's merged timeline attributes spans without trusting

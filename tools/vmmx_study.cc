@@ -19,6 +19,7 @@
  */
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -32,6 +33,7 @@
 #include "dist/driver.hh"
 #include "dist/worker.hh"
 #include "harness/study.hh"
+#include "sim/simd_dispatch.hh"
 #include "trace/trace_repo.hh"
 
 using namespace vmmx;
@@ -66,6 +68,10 @@ usage(int rc)
         "                  (processes backend; 0 = no deadline)\n"
         "  --max-unit-attempts N override how many workers one unit may\n"
         "                  kill before quarantine (processes backend)\n"
+        "  --simd P        pin the host-SIMD step kernel for batched\n"
+        "                  groups (scalar, sse2, avx2, avx512, auto);\n"
+        "                  paths the host cpuid does not support are\n"
+        "                  rejected.  Equivalent to VMMX_SIMD=P.\n"
         "  --report-only   print only the report tables (no title or\n"
         "                  timing lines; what CI diffs against benches)\n"
         "  --dump-spec     print the canonical spec text and exit\n"
@@ -138,6 +144,24 @@ main(int argc, char **argv)
                 int(parseUnsigned("--max-unit-attempts", value(i)));
             if (maxAttemptsOverride == 0)
                 fatal("--max-unit-attempts must be >= 1");
+        }
+        else if (arg == "--simd") {
+            std::string p = value(i);
+            simd::Path path{};
+            bool isAuto = false;
+            if (!simd::parsePath(p, path, isAuto))
+                fatal("--simd: '%s' is not scalar|sse2|avx2|avx512|auto",
+                      p.c_str());
+            if (isAuto) {
+                simd::setActivePathAuto();
+            } else {
+                std::string err = simd::setActivePath(path);
+                if (!err.empty())
+                    fatal("--simd: %s", err.c_str());
+            }
+            // Self-exec'd workers of the processes backend re-resolve
+            // from the environment, so the pin must outlive this parse.
+            ::setenv("VMMX_SIMD", p.c_str(), 1);
         }
         else if (arg == "--report-only")
             reportOnly = true;

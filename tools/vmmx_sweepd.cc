@@ -32,6 +32,7 @@
 #include "dist/driver.hh"
 #include "dist/worker.hh"
 #include "harness/sweep.hh"
+#include "sim/simd_dispatch.hh"
 
 using namespace vmmx;
 
@@ -97,6 +98,11 @@ usage(int rc)
         "                     'kill-after-units=3@worker1,corrupt-frame=7'\n"
         "                     (default $VMMX_FAULT_SPEC; see README\n"
         "                     \"Fault tolerance\" for the grammar)\n"
+        "  --simd P           pin the host-SIMD step kernel for batched\n"
+        "                     groups (scalar, sse2, avx2, avx512, auto);\n"
+        "                     paths the host cpuid does not support are\n"
+        "                     rejected.  Equivalent to VMMX_SIMD=P and\n"
+        "                     inherited by every worker process.\n"
         "  --no-batch         one point per dispatch instead of batched\n"
         "                     trace groups (or set VMMX_SWEEP_BATCH=0)\n"
         "  --no-decoded       decode per dispatch instead of serving the\n"
@@ -194,6 +200,23 @@ main(int argc, char **argv)
             std::string err;
             if (!env::parseFaultSpec(dopts.faultSpec.c_str(), plan, err))
                 fatal("--fault-spec: %s", err.c_str());
+        } else if (arg == "--simd") {
+            std::string p = value(i);
+            simd::Path path{};
+            bool isAuto = false;
+            if (!simd::parsePath(p, path, isAuto))
+                fatal("--simd: '%s' is not scalar|sse2|avx2|avx512|auto",
+                      p.c_str());
+            if (isAuto) {
+                simd::setActivePathAuto();
+            } else {
+                std::string err = simd::setActivePath(path);
+                if (!err.empty())
+                    fatal("--simd: %s", err.c_str());
+            }
+            // Workers are self-exec'd and re-resolve from the
+            // environment, so the pin must survive the fork+exec.
+            ::setenv("VMMX_SIMD", p.c_str(), 1);
         } else if (arg == "--no-batch")
             dopts.batch = false;
         else if (arg == "--no-decoded")
