@@ -139,6 +139,8 @@ class PerfRecord
         }
         out << "{\n  \"bench\": \"" << telemetry::jsonEscape(name_)
             << "\",\n  \"host\": \"" << telemetry::jsonEscape(host)
+            << "\",\n  \"sanitizer\": \""
+            << telemetry::jsonEscape(telemetry::sanitizerName())
             << "\",\n  \"hardwareConcurrency\": "
             << std::thread::hardware_concurrency();
         for (const auto &[k, v] : notes_)

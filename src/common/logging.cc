@@ -4,10 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
-#include <string_view>
 
 #include <unistd.h>
 
+#include "common/env.hh"
 #include "common/types.hh"
 
 namespace vmmx
@@ -29,14 +29,15 @@ monotonicNs()
     return u64(ts.tv_sec) * 1000000000ull + u64(ts.tv_nsec);
 }
 
-/** $VMMX_LOG_PREFIX is parsed directly (not via env.hh -- env parsing
- *  warns through this file, so going through it would recurse). */
+/** $VMMX_LOG_PREFIX goes through env::str() (which never warns, so no
+ *  recursion through this file) rather than env::flag() (which does):
+ *  any nonempty value other than "0" turns the prefix on. */
 bool
 prefixEnabled()
 {
     static const bool on = [] {
-        const char *v = std::getenv("VMMX_LOG_PREFIX");
-        return v && *v && std::string_view(v) != "0";
+        std::string v = env::str("VMMX_LOG_PREFIX");
+        return !v.empty() && v != "0";
     }();
     return on;
 }
@@ -51,12 +52,12 @@ vreport(const char *tag, const char *fmt, va_list ap)
         int worker = logWorkerId.load(std::memory_order_relaxed);
         if (worker >= 0) {
             std::fprintf(stderr, "%s: [%d/worker%d +%llu.%03llu] ", tag,
-                         int(getpid()), worker, (unsigned long long)ms,
-                         (unsigned long long)us);
+                         int(getpid()), worker, static_cast<unsigned long long>(ms),
+                         static_cast<unsigned long long>(us));
         } else {
             std::fprintf(stderr, "%s: [%d +%llu.%03llu] ", tag,
-                         int(getpid()), (unsigned long long)ms,
-                         (unsigned long long)us);
+                         int(getpid()), static_cast<unsigned long long>(ms),
+                         static_cast<unsigned long long>(us));
         }
     } else {
         std::fprintf(stderr, "%s: ", tag);

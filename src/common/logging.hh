@@ -46,12 +46,16 @@ void setLogWorkerId(int workerId);
 /**
  * Assert a simulator invariant.  Unlike assert(3) this is active in all
  * build types: invariants of the timing model must never be compiled out.
+ * The stringified condition and message are passed as %s arguments, not
+ * spliced into the format string: a condition containing '%' (modulo
+ * expressions are common in the cache indexing code) must never be
+ * parsed as a conversion specification reading nonexistent varargs.
  */
 #define vmmx_assert(cond, ...)                                          \
     do {                                                                \
         if (!(cond)) {                                                  \
-            ::vmmx::panic("assertion '%s' failed at %s:%d: " #__VA_ARGS__, \
-                          #cond, __FILE__, __LINE__);                   \
+            ::vmmx::panic("assertion '%s' failed at %s:%d: %s", #cond,  \
+                          __FILE__, __LINE__, "" #__VA_ARGS__);         \
         }                                                               \
     } while (0)
 

@@ -19,7 +19,7 @@ MemImage::alloc(size_t bytes, size_t align)
     Addr base = (brk_ + align - 1) & ~(Addr(align) - 1);
     if (base + bytes > data_.size())
         fatal("memory arena exhausted: need %zu bytes at 0x%llx (arena %zu)",
-              bytes, (unsigned long long)base, data_.size());
+              bytes, static_cast<unsigned long long>(base), data_.size());
     brk_ = base + bytes;
     return base;
 }

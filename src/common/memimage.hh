@@ -60,7 +60,7 @@ class MemImage
     {
         if (a + n > data_.size() || a + n < a)
             panic("memory access [0x%llx, +%zu) out of arena of %zu bytes",
-                  (unsigned long long)a, n, data_.size());
+                  static_cast<unsigned long long>(a), n, data_.size());
     }
 
     template <typename T>

@@ -27,8 +27,8 @@ Histogram::Histogram(StatGroup *parent, const std::string &name,
     // underflow or overflow bucket and the bucket array stays untouched.
     if (max < min)
         fatal("histogram '%s': max (%llu) must not be below min (%llu)",
-              name.c_str(), (unsigned long long)max,
-              (unsigned long long)min);
+              name.c_str(), static_cast<unsigned long long>(max),
+              static_cast<unsigned long long>(min));
     if (buckets == 0)
         fatal("histogram '%s': needs at least one bucket", name.c_str());
     if (parent)

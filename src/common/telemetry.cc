@@ -55,6 +55,16 @@ nowNs()
     return u64(ts.tv_sec) * 1000000000ull + u64(ts.tv_nsec);
 }
 
+const char *
+sanitizerName()
+{
+#ifdef VMMX_SANITIZE_NAME
+    if (VMMX_SANITIZE_NAME[0] != '\0')
+        return VMMX_SANITIZE_NAME;
+#endif
+    return "none";
+}
+
 // ---- span tracing --------------------------------------------------------
 
 Tracer &
@@ -341,6 +351,9 @@ Registry::dumpJson(std::ostream &os) const
         }
         os << "\n  }";
     }
+    sep();
+    os << "  \"host\": {\n    \"sanitizer\": \"" << jsonEscape(sanitizerName())
+       << "\"\n  }";
     sep();
     os << "  \"units\": [";
     std::vector<UnitRecord> us = units();

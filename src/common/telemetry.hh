@@ -74,6 +74,11 @@ void setEnabled(bool on);
  *  processes of one host, which is what the merged timeline needs). */
 u64 nowNs();
 
+/** Which sanitizer this binary was built with ("address", "undefined",
+ *  "thread"), or "none".  Stamped into metrics dumps and perf records
+ *  so sanitizer-build numbers are never mistaken for real timings. */
+const char *sanitizerName();
+
 // ---- span tracing --------------------------------------------------------
 
 /** One completed scoped timer.  pid/workerId key the merged timeline:

@@ -403,6 +403,8 @@ DistStats::summary() const
 void
 publishMetrics(const DistStats &st)
 {
+    if (!telemetry::enabled())
+        return;
     telemetry::Registry &reg = telemetry::Registry::instance();
     reg.setGauge("dist.workers", st.workers);
     reg.setGauge("dist.jobsRun", st.jobsRun);
@@ -994,6 +996,9 @@ runSweep(const std::vector<SweepPoint> &points, const DistOptions &opts,
                                " spawn " + std::to_string(m.workerId));
                 for (telemetry::SpanRecord &s : m.spans)
                     tracer.record(std::move(s));
+                // Workers only emit Event frames when setup.telemetry
+                // was on, and the driver set that from enabled().
+                // vmmx_lint: allow(telemetry-guard)
                 telemetry::Registry &reg = telemetry::Registry::instance();
                 for (telemetry::UnitRecord &u : m.units)
                     reg.addUnit(std::move(u));

@@ -42,6 +42,39 @@ struct SetupMsgMirror
 static_assert(sizeof(SetupMsg) == sizeof(SetupMsgMirror),
               "SetupMsg changed: update encode/decode and the mirror");
 
+struct JobMsgMirror
+{
+    u32 index;
+    SweepPoint point;
+};
+static_assert(sizeof(JobMsg) == sizeof(JobMsgMirror),
+              "JobMsg changed: update encode/decode and the mirror");
+
+struct JobGroupMsgMirror
+{
+    std::vector<u32> indices;
+    std::vector<SweepPoint> points;
+};
+static_assert(sizeof(JobGroupMsg) == sizeof(JobGroupMsgMirror),
+              "JobGroupMsg changed: update encode/decode and the mirror");
+
+struct ResultMsgMirror
+{
+    u32 index;
+    u64 traceLength;
+    RunResult result;
+};
+static_assert(sizeof(ResultMsg) == sizeof(ResultMsgMirror),
+              "ResultMsg changed: update encode/decode and the mirror");
+
+struct StatsMsgMirror
+{
+    u64 generations, hits, diskLoads, storeSaves, bytesResident, decodes,
+        decodedHits, decodedBytes;
+};
+static_assert(sizeof(StatsMsg) == sizeof(StatsMsgMirror),
+              "StatsMsg changed: update encode/decode and the mirror");
+
 struct SpanRecordMirror
 {
     std::string name;

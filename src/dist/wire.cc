@@ -22,15 +22,17 @@ fnv1a(const void *data, size_t n, u64 seed)
 void
 Writer::fixed32(u32 v)
 {
-    for (int i = 0; i < 4; ++i)
-        byte(u8(v >> (8 * i)));
+    u8 raw[4];
+    storeLE(raw, v);
+    bytes(raw, sizeof(raw));
 }
 
 void
 Writer::fixed64(u64 v)
 {
-    for (int i = 0; i < 8; ++i)
-        byte(u8(v >> (8 * i)));
+    u8 raw[8];
+    storeLE(raw, v);
+    bytes(raw, sizeof(raw));
 }
 
 void
@@ -87,9 +89,8 @@ Reader::fixed32()
 {
     if (!need(4))
         return 0;
-    u32 v = 0;
-    for (int i = 0; i < 4; ++i)
-        v |= u32(*p_++) << (8 * i);
+    u32 v = loadLE<u32>(p_);
+    p_ += 4;
     return v;
 }
 
@@ -98,25 +99,35 @@ Reader::fixed64()
 {
     if (!need(8))
         return 0;
-    u64 v = 0;
-    for (int i = 0; i < 8; ++i)
-        v |= u64(*p_++) << (8 * i);
+    u64 v = loadLE<u64>(p_);
+    p_ += 8;
     return v;
 }
 
 u64
 Reader::varint()
 {
+    // The shift never reaches 64: groups land at shifts 0, 7, ..., 63,
+    // and the tenth group (shift 63) holds exactly one payload bit.  A
+    // tenth byte with more than that one bit -- high payload bits that
+    // a 64-bit value cannot hold, or a continuation bit promising an
+    // eleventh byte -- only ever comes from a corrupt or non-canonical
+    // stream (our encoder emits at most 0x01 there), so it is rejected
+    // instead of silently truncated.
     u64 v = 0;
-    for (unsigned shift = 0; shift < 70; shift += 7) {
+    for (unsigned shift = 0; shift < 64; shift += 7) {
         u8 b = byte();
         if (!ok_)
             return 0;
+        if (shift == 63 && (b & 0xfe)) {
+            ok_ = false;
+            return 0;
+        }
         v |= u64(b & 0x7f) << shift;
         if (!(b & 0x80))
             return v;
     }
-    ok_ = false; // > 10 continuation bytes: corrupt stream
+    ok_ = false; // unreachable: shift 63 always returns or rejects
     return 0;
 }
 
@@ -133,7 +144,7 @@ Reader::str()
     u64 n = varint();
     if (!need(n))
         return {};
-    std::string s(reinterpret_cast<const char *>(p_), size_t(n));
+    std::string s(asChars(p_), size_t(n));
     p_ += n;
     return s;
 }
@@ -184,9 +195,7 @@ bool
 writeFrame(int fd, const std::vector<u8> &payload)
 {
     u8 hdr[4];
-    u32 len = u32(payload.size());
-    for (int i = 0; i < 4; ++i)
-        hdr[i] = u8(len >> (8 * i));
+    storeLE(hdr, u32(payload.size()));
     return writeAll(fd, hdr, 4) &&
            writeAll(fd, payload.data(), payload.size());
 }
@@ -197,9 +206,7 @@ readFrame(int fd, std::vector<u8> &payload)
     u8 hdr[4];
     if (readAll(fd, hdr, 4) != 1)
         return false;
-    u32 len = 0;
-    for (int i = 0; i < 4; ++i)
-        len |= u32(hdr[i]) << (8 * i);
+    u32 len = loadLE<u32>(hdr);
     payload.resize(len);
     return len == 0 || readAll(fd, payload.data(), len) == 1;
 }

@@ -66,6 +66,16 @@ struct ExecutionPolicyMirror
     std::vector<std::string> execArgs;
 };
 
+struct SweepPointMirror
+{
+    SweepPoint::Workload workload;
+    std::string name;
+    SimdKind kind;
+    unsigned way;
+    Config overrides;
+    SharedTrace trace;
+};
+
 struct DistStatsMirror
 {
     u64 generations, hits, diskLoads, storeSaves, bytesResident, decodes,
@@ -81,6 +91,10 @@ struct DistStatsMirror
 };
 
 } // namespace
+
+static_assert(sizeof(SweepPoint) == sizeof(SweepPointMirror),
+              "SweepPoint gained or lost a field: update serialize()/"
+              "deserialize(), label(), and this mirror in lockstep");
 
 static_assert(sizeof(ExecutionPolicy) == sizeof(ExecutionPolicyMirror),
               "ExecutionPolicy gained or lost a field: update the [exec] "

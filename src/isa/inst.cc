@@ -41,7 +41,7 @@ InstRecord::toString() const
         std::snprintf(buf, sizeof(buf),
                       "%-8s %s <- [0x%llx row=%u stride=%d vl=%u] %s",
                       opcodeName(op), regStr(dst).c_str(),
-                      (unsigned long long)addr, rowBytes, stride, vl,
+                      static_cast<unsigned long long>(addr), rowBytes, stride, vl,
                       regStr(src0).c_str());
     } else if (isBranch()) {
         std::snprintf(buf, sizeof(buf), "%-8s %s,%s %s (site %u)",

@@ -407,7 +407,7 @@ namespace
  */
 template <typename E, typename Adapter>
 void
-ycc2RgbBody(Program &p, E &e, Adapter ad, unsigned w, SReg y, SReg cb,
+ycc2RgbBody(Program &p, E &e, Adapter ad, unsigned /*width*/, SReg y, SReg cb,
             SReg cr, SReg r, SReg g, SReg b, unsigned n)
 {
     unsigned sweepPixels = ad.sweepPixels;

@@ -116,7 +116,7 @@ namespace
  */
 template <typename E, typename Ad>
 void
-h2v2PackedChunk(Program &p, E &e, Ad &ad, VR z, VR b8, VR b7, VR c16,
+h2v2PackedChunk(Program &/*p*/, E &e, Ad &ad, VR z, VR b8, VR b7, VR c16,
                 VR a16, VR v0, VR vn, VR e16, VR o16, VR t, unsigned half)
 {
     auto widen = [&](VR d, VR src8) {

@@ -5,6 +5,56 @@
 namespace vmmx
 {
 
+// ---- codec lockstep guards ----------------------------------------------
+// Mirror structs restating every field the trace codecs serialize: a
+// field added to InstRecord or TraceKey without extending
+// encodeTrace()/decodeTrace() or serialize()/deserialize() (and the
+// mirror) fails to compile here instead of silently dropping data from
+// every stored trace.  tools/vmmx_lint enforces that each codec in this
+// file keeps a guard.
+namespace
+{
+
+struct RegIdMirror
+{
+    RegClass cls;
+    u8 idx;
+};
+static_assert(sizeof(RegId) == sizeof(RegIdMirror),
+              "RegId changed: update packCls()/unpackCls(), the per-record "
+              "operand bytes, and this mirror");
+
+struct InstRecordMirror
+{
+    Opcode op;
+    ElemWidth ew;
+    RegId dst, src0, src1, src2;
+    Addr addr;
+    u16 rowBytes;
+    s32 stride;
+    u16 vl;
+    bool taken;
+    u32 staticId;
+    u16 region;
+};
+static_assert(sizeof(InstRecord) == sizeof(InstRecordMirror),
+              "InstRecord changed: update encodeTrace()/decodeTrace(), the "
+              "flags byte, and this mirror in lockstep");
+
+struct TraceKeyMirror
+{
+    bool isApp;
+    std::string name;
+    SimdKind kind;
+    u32 imageBytes;
+    u64 seed;
+};
+static_assert(sizeof(TraceKey) == sizeof(TraceKeyMirror),
+              "TraceKey changed: update serialize()/deserialize(), "
+              "describe(), TraceStore::path(), and this mirror");
+
+} // namespace
+
 namespace
 {
 
@@ -122,8 +172,10 @@ decodeTrace(wire::Reader &r, std::vector<InstRecord> &out)
         for (RegId *reg : {&i.dst, &i.src0, &i.src1, &i.src2})
             if (reg->valid())
                 reg->idx = r.byte();
-        s64 dStatic = r.svarint();
-        i.staticId = u32(s64(prevStatic) + dStatic);
+        // Delta applications happen in u64 arithmetic: a hostile or
+        // corrupt delta plus the running value must wrap (and then fail
+        // validation downstream), never overflow a signed add.
+        i.staticId = u32(u64(prevStatic) + u64(r.svarint()));
         prevStatic = i.staticId;
         if (flags & flagNewRegion) {
             i.region = u16(r.varint());
@@ -135,7 +187,7 @@ decodeTrace(wire::Reader &r, std::vector<InstRecord> &out)
             i.addr = prevAddr + u64(r.svarint());
             prevAddr = i.addr;
             i.rowBytes = u16(r.varint());
-            i.stride = s32(r.svarint() + s64(i.rowBytes));
+            i.stride = s32(u64(r.svarint()) + u64(i.rowBytes));
         }
         if (flags & flagHasVl)
             i.vl = u16(r.varint());

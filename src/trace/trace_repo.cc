@@ -140,10 +140,10 @@ TraceRepository::instance()
     // that pin references for the process lifetime should not silently
     // start writing files unless the user asked for a store.
     static TraceStore *store = []() -> TraceStore * {
-        const char *env = std::getenv("VMMX_TRACE_STORE");
-        if (!env || !*env)
+        std::string dir = env::str("VMMX_TRACE_STORE");
+        if (dir.empty())
             return nullptr;
-        static TraceStore s(env);
+        static TraceStore s(dir);
         return &s;
     }();
     static TraceRepository repo(store);
@@ -535,6 +535,8 @@ TraceRepository::summary() const
 void
 TraceRepository::publishMetrics() const
 {
+    if (!telemetry::enabled())
+        return;
     telemetry::Registry &reg = telemetry::Registry::instance();
     TierStats rawT = rawStats();
     TierStats decT = decodedStats();

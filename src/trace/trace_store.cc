@@ -2,12 +2,12 @@
 
 #include <cctype>
 #include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <unistd.h>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace fs = std::filesystem;
@@ -26,8 +26,8 @@ constexpr u32 storeVersion = 1;
 std::string
 TraceStore::defaultDir()
 {
-    if (const char *env = std::getenv("VMMX_TRACE_STORE"); env && *env)
-        return env;
+    if (std::string dir = env::str("VMMX_TRACE_STORE"); !dir.empty())
+        return dir;
     std::error_code ec;
     fs::path tmp = fs::temp_directory_path(ec);
     if (ec)
@@ -122,9 +122,8 @@ TraceStore::save(const TraceKey &key, const std::vector<InstRecord> &trace)
     const std::string tmp = file + ".tmp." + std::to_string(::getpid());
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out ||
-            !out.write(reinterpret_cast<const char *>(w.buffer().data()),
-                       std::streamsize(w.size()))) {
+        if (!out || !out.write(asChars(w.buffer().data()),
+                               std::streamsize(w.size()))) {
             warn("trace store: cannot write '%s'", tmp.c_str());
             std::remove(tmp.c_str());
             return false;

@@ -1,0 +1,60 @@
+// vmmx_lint-fixture: rule=none path=src/dist/protocol.cc
+// The shapes the rules demand, all present and correct: a codec with
+// its lockstep guard, a guarded telemetry site, env.hh lookups, and
+// intrinsic names only inside comments and strings (which the linter
+// must ignore: _mm256_add_epi8, getenv, rand()).
+#include "common/env.hh"
+#include "common/telemetry.hh"
+#include "dist/wire.hh"
+
+namespace vmmx::dist
+{
+
+struct PingMsg
+{
+    u32 nonce;
+    u64 sentNs;
+};
+
+namespace
+{
+struct PingMsgMirror
+{
+    u32 nonce;
+    u64 sentNs;
+};
+static_assert(sizeof(PingMsg) == sizeof(PingMsgMirror),
+              "PingMsg changed: update encode/decode and the mirror");
+} // namespace
+
+std::vector<u8>
+encode(const PingMsg &m)
+{
+    wire::Writer w;
+    w.fixed32(m.nonce);
+    w.varint(m.sentNs);
+    return w.take();
+}
+
+bool
+decode(const std::vector<u8> &frame, PingMsg &m)
+{
+    wire::Reader r(frame.data(), frame.size());
+    m.nonce = r.fixed32();
+    m.sentNs = r.varint();
+    return r.ok() && r.atEnd();
+}
+
+void
+publishPing(u64 rttNs)
+{
+    const char *what = "calling getenv(\"HOME\") or _mm256_setzero_si256()";
+    (void)what;
+    if (!telemetry::enabled())
+        return;
+    telemetry::Registry &reg = telemetry::Registry::instance();
+    reg.addCounter("ping.rttNs", rttNs);
+    reg.setGauge("ping.budget", env::size("VMMX_PING_BUDGET", 0));
+}
+
+} // namespace vmmx::dist

@@ -1,0 +1,28 @@
+// vmmx_lint-fixture: rule=simd-isolation path=src/harness/fastpath.cc
+// AVX intrinsics leaking out of the quarantined kernel TUs: this file
+// is not compiled with -mavx2, so the binary would trap on older hosts
+// depending on inlining luck.
+#include <immintrin.h>
+
+#include "common/types.hh"
+
+namespace vmmx
+{
+
+u64
+sumFast(const u8 *data, size_t n)
+{
+    __m256i acc = _mm256_setzero_si256();
+    for (size_t i = 0; i + 32 <= n; i += 32)
+        acc = _mm256_add_epi8(
+            acc, _mm256_loadu_si256(
+                     reinterpret_cast<const __m256i *>(data + i)));
+    alignas(32) u8 lanes[32];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    u64 total = 0;
+    for (u8 b : lanes)
+        total += b;
+    return total;
+}
+
+} // namespace vmmx

@@ -1,0 +1,33 @@
+// vmmx_lint-fixture: rule=codec-guard path=src/dist/protocol.cc
+// A message codec with no static_assert lockstep guard: adding a field
+// to PingMsg would ship a short frame instead of failing to compile.
+#include "dist/wire.hh"
+
+namespace vmmx::dist
+{
+
+struct PingMsg
+{
+    u32 nonce;
+    u64 sentNs;
+};
+
+std::vector<u8>
+encode(const PingMsg &m)
+{
+    wire::Writer w;
+    w.fixed32(m.nonce);
+    w.varint(m.sentNs);
+    return w.take();
+}
+
+bool
+decode(const std::vector<u8> &frame, PingMsg &m)
+{
+    wire::Reader r(frame.data(), frame.size());
+    m.nonce = r.fixed32();
+    m.sentNs = r.varint();
+    return r.ok() && r.atEnd();
+}
+
+} // namespace vmmx::dist

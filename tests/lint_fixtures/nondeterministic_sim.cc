@@ -1,0 +1,23 @@
+// vmmx_lint-fixture: rule=sim-determinism path=src/sim/issue_jitter.cc
+// Wall-clock-seeded rand() in the simulator core: two runs of the same
+// (trace, config, seed) would report different cycle counts.
+#include <cstdlib>
+#include <ctime>
+
+#include "common/types.hh"
+
+namespace vmmx
+{
+
+u32
+issueJitterCycles()
+{
+    static bool seeded = false;
+    if (!seeded) {
+        std::srand(unsigned(time(nullptr)));
+        seeded = true;
+    }
+    return u32(std::rand() % 3);
+}
+
+} // namespace vmmx

@@ -1,0 +1,16 @@
+// vmmx_lint-fixture: rule=telemetry-guard path=src/harness/sweep_metrics.cc
+// Registry::instance() with no enabled() check in sight: every call
+// takes the registry lock even when telemetry is off.
+#include "common/telemetry.hh"
+
+namespace vmmx
+{
+
+void
+recordSweepPoint(u64 records)
+{
+    telemetry::Registry &reg = telemetry::Registry::instance();
+    reg.addCounter("sweep.records", records);
+}
+
+} // namespace vmmx

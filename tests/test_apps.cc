@@ -68,7 +68,7 @@ TEST_P(AppCorrectness, HasScalarAndVectorPhases)
 
 INSTANTIATE_TEST_SUITE_P(AllApps, AppCorrectness,
                          testing::ValuesIn(appNames()),
-                         [](const auto &info) { return info.param; });
+                         [](const auto &tpi) { return tpi.param; });
 
 TEST(AppRoundTrip, JpegDecodeApproximatesInput)
 {

@@ -318,6 +318,9 @@ TEST(Env, ParseUnsignedRejectsNegativesOverflowAndGarbage)
 TEST(Env, EnvLookupsFallBackToDefaults)
 {
     // Save and scrub; restore at the end so the test is order-neutral.
+    // Raw getenv is the point here: the test manipulates the process
+    // environment underneath the env:: helpers it exercises.
+    // vmmx_lint: allow(env-discipline)
     const char *saved = std::getenv("VMMX_TEST_KNOB");
     std::string savedValue = saved ? saved : "";
 

@@ -90,9 +90,9 @@ INSTANTIATE_TEST_SUITE_P(
     AllMachines, MachineSweep,
     testing::Combine(testing::Values(0, 1, 2, 3),
                      testing::Values(2u, 4u, 8u)),
-    [](const auto &info) {
-        return name(SimdKind(std::get<0>(info.param))) + "_" +
-               std::to_string(std::get<1>(info.param)) + "way";
+    [](const auto &tpi) {
+        return name(SimdKind(std::get<0>(tpi.param))) + "_" +
+               std::to_string(std::get<1>(tpi.param)) + "way";
     });
 
 TEST(Overrides, MemoryLatencyReachesTheModel)

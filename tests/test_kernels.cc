@@ -86,8 +86,9 @@ TEST_P(KernelCorrectness, TraceIsWellFormed)
             EXPECT_GT(inst.rowBytes, 0u) << inst.toString();
             EXPECT_LT(inst.addr, mem.size()) << inst.toString();
         }
-        if (inst.vl > 0)
+        if (inst.vl > 0) {
             EXPECT_LE(inst.vl, 16u) << inst.toString();
+        }
     }
     if (kc.flavour < 0) {
         EXPECT_EQ(vec, 0u) << "scalar flavour must not emit packed ops";

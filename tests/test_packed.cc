@@ -223,8 +223,8 @@ TEST_P(PackedWidth, MinMaxAvg)
 }
 
 INSTANTIATE_TEST_SUITE_P(Widths, PackedWidth, testing::Values(8u, 16u),
-                         [](const auto &info) {
-                             return "w" + std::to_string(info.param);
+                         [](const auto &tpi) {
+                             return "w" + std::to_string(tpi.param);
                          });
 
 TEST(Accumulator, SadAccumulates)

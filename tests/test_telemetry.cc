@@ -158,6 +158,10 @@ TEST_F(TelemetryTest, DumpJsonNestsByDottedPrefixWithUnits)
     EXPECT_NE(json.find("\"repo\""), std::string::npos);
     EXPECT_NE(json.find("\"toplevel\": 3"), std::string::npos);
     EXPECT_NE(json.find("\"units\""), std::string::npos);
+    // Host stamp: the sanitizer the binary was built with always rides
+    // along ("none" in a plain build).
+    EXPECT_NE(json.find("\"host\""), std::string::npos);
+    EXPECT_NE(json.find("\"sanitizer\": \""), std::string::npos);
     EXPECT_NE(json.find("\"label\":\"idct/vmmx128/4-way\""),
               std::string::npos);
     EXPECT_NE(json.find("\"traceHash\":42"), std::string::npos);

@@ -63,6 +63,91 @@ TEST_F(WireTest, SvarintBoundariesRoundTrip)
     EXPECT_EQ(small.size(), 1u);
 }
 
+TEST_F(WireTest, VarintSevenBitBoundariesExhaustive)
+{
+    // Every 2^(7k) threshold changes the encoded length; round-trip the
+    // exact threshold and both neighbours for every k up to the u64 top.
+    std::vector<u64> values;
+    for (unsigned k = 1; k <= 9; ++k) {
+        u64 edge = 1ull << (7 * k);
+        values.push_back(edge - 1);
+        values.push_back(edge);
+        values.push_back(edge + 1);
+    }
+    wire::Writer w;
+    for (u64 v : values)
+        w.varint(v);
+    wire::Reader r(w.buffer());
+    for (u64 v : values)
+        EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.ok() && r.atEnd());
+
+    // Encoded length is exactly ceil(bits/7): k bytes up to 2^(7k)-1,
+    // one more at 2^(7k).
+    for (unsigned k = 1; k <= 9; ++k) {
+        wire::Writer below;
+        below.varint((1ull << (7 * k)) - 1);
+        EXPECT_EQ(below.size(), k);
+        wire::Writer at;
+        at.varint(1ull << (7 * k));
+        EXPECT_EQ(at.size(), k + 1);
+    }
+    wire::Writer top;
+    top.varint(~0ull);
+    EXPECT_EQ(top.size(), 10u);
+}
+
+TEST_F(WireTest, VarintTenthByteOverflowRejected)
+{
+    // ~0ull is the canonical worst case: nine 0xff bytes, then a tenth
+    // byte carrying only bit 63.
+    wire::Writer w;
+    w.varint(~0ull);
+    ASSERT_EQ(w.size(), 10u);
+    EXPECT_EQ(w.buffer()[9], 0x01);
+
+    // A tenth byte with anything beyond bit 0 encodes >= 2^64 (or asks
+    // for an eleventh byte): corrupt or hostile input, which must trip
+    // ok() instead of silently truncating mod 2^64 or shifting by >= 64.
+    for (u8 bad : {u8(0x02), u8(0x7f), u8(0x80), u8(0xff)}) {
+        std::vector<u8> bytes(10, 0xff);
+        bytes[9] = bad;
+        wire::Reader r(bytes.data(), bytes.size());
+        r.varint();
+        EXPECT_FALSE(r.ok()) << "tenth byte 0x" << std::hex << unsigned(bad);
+    }
+
+    // A continuation bit running off the end of the buffer underflows.
+    const u8 dangling[] = {0x80};
+    wire::Reader r(dangling, sizeof(dangling));
+    r.varint();
+    EXPECT_FALSE(r.ok());
+
+    // Overlong zero padding stays in range and decodes to 0: readers
+    // are liberal about padding, strict about value bits.
+    std::vector<u8> padded(10, 0x80);
+    padded[9] = 0x00;
+    wire::Reader pr(padded.data(), padded.size());
+    EXPECT_EQ(pr.varint(), 0u);
+    EXPECT_TRUE(pr.ok());
+}
+
+TEST_F(WireTest, SvarintExtremesUseTenBytes)
+{
+    // Zigzag maps s64 min/max to the top two u64 values; both must take
+    // the full ten bytes and come back exact.
+    const s64 hi = s64(0x7fffffffffffffffll);
+    const s64 lo = s64(-0x7fffffffffffffffll - 1);
+    wire::Writer w;
+    w.svarint(hi);
+    w.svarint(lo);
+    EXPECT_EQ(w.size(), 20u);
+    wire::Reader r(w.buffer());
+    EXPECT_EQ(r.svarint(), hi);
+    EXPECT_EQ(r.svarint(), lo);
+    EXPECT_TRUE(r.ok() && r.atEnd());
+}
+
 TEST_F(WireTest, FixedStringsAndUnderflow)
 {
     wire::Writer w;
@@ -301,8 +386,11 @@ TEST_F(WireTest, ExplicitTracePointShipsItsTrace)
 
 TEST_F(WireTest, ProtocolMessagesRoundTrip)
 {
-    dist::SetupMsg setup{dist::protocolVersion, "/tmp/store", 1u << 30,
-                         true};
+    dist::SetupMsg setup;
+    setup.version = dist::protocolVersion;
+    setup.storeDir = "/tmp/store";
+    setup.cacheBudget = 1u << 30;
+    setup.quiet = true;
     dist::SetupMsg setup2;
     ASSERT_TRUE(dist::decode(dist::encode(setup), setup2));
     EXPECT_EQ(setup2.storeDir, setup.storeDir);
